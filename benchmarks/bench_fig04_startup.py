@@ -1,0 +1,69 @@
+"""Figure 4: OS startup time by deployment method.
+
+Paper's measured bars (seconds): Baremetal 162 (133 firmware + 29 boot),
+BMcast 63 (5 VMM + 58 boot), Image Copy 544, NFS-root netboot 49 (boot
+only), KVM/NFS 72, KVM/iSCSI 85.  Headline: BMcast starts a bare-metal
+instance 8.6x faster than image copying (excluding the first firmware
+initialization) and 3.5x faster including it.
+"""
+
+from _common import deploy_instances, emit, once
+from repro.metrics.report import format_table
+
+METHODS = ("baremetal", "bmcast", "image-copy", "network-boot",
+           "kvm-nfs", "kvm-iscsi")
+
+PAPER_SECONDS = {
+    "baremetal": 162.0,
+    "bmcast": 63.0,
+    "image-copy": 544.0,
+    "network-boot": 49.0,
+    "kvm-nfs": 72.0,
+    "kvm-iscsi": 85.0,
+}
+
+
+def run_figure():
+    results = {}
+    for method in METHODS:
+        # skip_firmware reproduces the paper's headline accounting
+        # (excluding the first firmware initialization); the baremetal
+        # row keeps it so the full cold-boot bar exists too.
+        testbed, [instance] = deploy_instances(
+            method, skip_firmware=(method != "baremetal"))
+        results[method] = instance.timeline
+    return results
+
+
+def test_fig04_startup_time(benchmark):
+    timelines = once(benchmark, run_figure)
+
+    rows = []
+    for method in METHODS:
+        timeline = timelines[method]
+        segments = "; ".join(f"{label} {seconds:.0f}s"
+                             for label, seconds in timeline.segments)
+        rows.append([method, round(timeline.total, 1),
+                     PAPER_SECONDS[method], segments])
+    emit("fig04_startup", format_table(
+        ["method", "measured s", "paper s", "segments"], rows,
+        title="Figure 4: OS startup time"))
+
+    measured = {method: timelines[method].total for method in METHODS}
+    # Shape assertions (the paper's claims):
+    # 1. BMcast ~8-9x faster than image copy (both exclude firmware).
+    speedup = measured["image-copy"] / measured["bmcast"]
+    assert 6.0 < speedup < 11.0, f"speedup {speedup:.1f} out of band"
+    # 2. Network boot is the quickest start (no deployment at all).
+    assert measured["network-boot"] < measured["bmcast"]
+    # 3. BMcast's VMM boots much faster than KVM (5 s vs 30 s) and the
+    #    full BMcast start beats both KVM variants.
+    assert measured["bmcast"] < measured["kvm-nfs"]
+    assert measured["bmcast"] < measured["kvm-iscsi"]
+    # 4. KVM/NFS guest boots faster than KVM/iSCSI.
+    assert measured["kvm-nfs"] < measured["kvm-iscsi"]
+    # 5. Everything lands within ~25% of the paper's absolute numbers.
+    for method, paper in PAPER_SECONDS.items():
+        ratio = measured[method] / paper
+        assert 0.7 < ratio < 1.3, f"{method}: {measured[method]:.0f}s " \
+            f"vs paper {paper:.0f}s"

@@ -1,0 +1,89 @@
+"""Elastic scale-out: the paper's motivating scenario.
+
+A Cassandra tier is serving a write-heavy YCSB workload when load spikes.
+The operator adds a bare-metal node.  With image copying the new node
+takes ~9 minutes of dead time before it serves a single request; with
+BMcast it serves within ~a minute at >90% capacity and silently reaches
+full bare-metal performance when deployment finishes.
+
+This example deploys the new node both ways and prints the capacity the
+cluster gained over time.
+
+Run:  python examples/elastic_scaleout.py
+"""
+
+from repro import Provisioner, build_testbed
+from repro.apps.kvstore import CASSANDRA, KvStoreServer
+from repro.apps.ycsb import WRITE_HEAVY, YcsbBenchmark
+from repro.guest.osimage import OsImage
+from repro.metrics.report import format_table
+
+#: Shrunk image so the example runs in seconds (same machinery).
+IMAGE = dict(size_bytes=4 * 2**30, boot_read_bytes=24 * 2**20,
+             boot_think_seconds=6.0)
+
+OBSERVE_SECONDS = 420.0
+WINDOW = 15.0
+
+
+def scale_out_with(method: str):
+    """Deploy the new node via ``method``; returns (bench, timeline)."""
+    testbed = build_testbed(image=OsImage(**IMAGE))
+    provisioner = Provisioner(testbed)
+    env = testbed.env
+    t_request = env.now  # the moment the operator asks for capacity
+
+    instance = env.run(until=env.process(
+        provisioner.deploy(method, skip_firmware=True)))
+    ready_after = env.now - t_request
+
+    store = KvStoreServer(instance, CASSANDRA)
+    bench = YcsbBenchmark(store, WRITE_HEAVY, window=WINDOW)
+    env.run(until=env.process(bench.run(OBSERVE_SECONDS)))
+    return bench, ready_after
+
+
+def main():
+    print("Scaling out a Cassandra tier by one bare-metal node...\n")
+    results = {}
+    for method in ("bmcast", "image-copy"):
+        bench, ready_after = scale_out_with(method)
+        results[method] = (bench, ready_after)
+        print(f"{method}: first request served "
+              f"{ready_after:.0f}s after the scale-out request")
+
+    print()
+    rows = []
+    bmcast_bench, bmcast_ready = results["bmcast"]
+    copy_bench, copy_ready = results["image-copy"]
+    peak = max(bmcast_bench.throughput.values())
+    for minute in range(int(OBSERVE_SECONDS // 60)):
+        start, end = minute * 60.0, (minute + 1) * 60.0
+
+        def served(bench, ready):
+            try:
+                return bench.throughput.mean_between(start, end) / 1e3
+            except ValueError:
+                return 0.0
+
+        rows.append([
+            f"{minute + 1}",
+            round(served(bmcast_bench, bmcast_ready), 1),
+            round(served(copy_bench, copy_ready), 1),
+        ])
+    print(format_table(
+        ["minute after ready", "BMcast KT/s", "image-copy KT/s"], rows,
+        title="New node's serving rate, minute by minute "
+        "(time axis starts when each node is ready)"))
+
+    total_bmcast = sum(bmcast_bench.throughput.values()) * WINDOW
+    total_copy = sum(copy_bench.throughput.values()) * WINDOW
+    lead = copy_ready - bmcast_ready
+    print(f"\nBMcast's node came up {lead:.0f}s earlier and had served "
+          f"~{total_bmcast / 1e6:.0f}M extra requests by the time the "
+          f"image-copy node finished booting.")
+    print(f"(Peak per-node rate: {peak / 1e3:.1f} KT/s.)")
+
+
+if __name__ == "__main__":
+    main()

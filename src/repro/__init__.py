@@ -1,0 +1,29 @@
+"""BMcast reproduction: agile, elastic bare-metal clouds.
+
+Reproduces *Improving Agility and Elasticity in Bare-metal Clouds*
+(Omote, Shinagawa, Kato — ASPLOS 2015) as a discrete-event-simulated
+bare-metal cloud with a fully implemented de-virtualizable VMM.
+
+Quick start::
+
+    from repro import build_testbed, Provisioner
+
+    testbed = build_testbed()
+    provisioner = Provisioner(testbed)
+    instance = testbed.env.run(
+        until=testbed.env.process(provisioner.deploy("bmcast")))
+    print(instance.timeline.segments)
+"""
+
+from repro.cloud import Provisioner, Testbed, build_testbed
+from repro.sim import Environment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Environment",
+    "Provisioner",
+    "Testbed",
+    "build_testbed",
+    "__version__",
+]

@@ -1,0 +1,27 @@
+"""Extended ATA-over-Ethernet protocol: initiator, target, messages."""
+
+from repro.aoe.client import AoeInitiator, AoeTimeoutError
+from repro.aoe.protocol import (
+    AoeAck,
+    AoeCommand,
+    AoeDataFragment,
+    ReassemblyBuffer,
+    fragment_count,
+    sectors_per_frame,
+    split_read_reply,
+)
+from repro.aoe.server import AoeServer, ImageStore
+
+__all__ = [
+    "AoeAck",
+    "AoeCommand",
+    "AoeDataFragment",
+    "AoeInitiator",
+    "AoeServer",
+    "AoeTimeoutError",
+    "ImageStore",
+    "ReassemblyBuffer",
+    "fragment_count",
+    "sectors_per_frame",
+    "split_read_reply",
+]

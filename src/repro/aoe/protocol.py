@@ -1,0 +1,168 @@
+"""Extended ATA-over-Ethernet protocol messages (paper 4.2).
+
+The paper extends stock AoE [43] with jumbo-frame support and
+retransmission.  A command carries the ATA register values (operation,
+LBA, sector count) — which is exactly why the VMM can convert an
+intercepted taskfile to a network request "with minimal effort".  Replies
+that exceed one frame are split into fragments; the AoE tag field encodes
+which transaction and fragment a frame belongs to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import params
+
+
+def sectors_per_frame(mtu: int) -> int:
+    """How many 512-byte sectors fit in one AoE data frame at ``mtu``."""
+    payload_room = mtu - params.AOE_HEADER_BYTES
+    sectors = payload_room // params.SECTOR_BYTES
+    if sectors < 1:
+        raise ValueError(f"MTU {mtu} cannot carry one sector")
+    return sectors
+
+
+def fragment_count(sector_count: int, mtu: int) -> int:
+    """Frames needed to carry ``sector_count`` sectors at ``mtu``."""
+    per_frame = sectors_per_frame(mtu)
+    return (sector_count + per_frame - 1) // per_frame
+
+
+@dataclass(frozen=True)
+class AoeCommand:
+    """Initiator -> server ATA command."""
+
+    tag: int
+    op: str                  # "read" | "write"
+    lba: int
+    sector_count: int
+    #: For writes: the data runs being sent (carried across fragments;
+    #: the model attaches them to the logical command).
+    payload_runs: tuple = ()
+    #: Bulk transfers use the switch's aggregate path (same wire time,
+    #: fewer simulation events) — used by the background copier.
+    bulk: bool = False
+
+    @property
+    def header_bytes(self) -> int:
+        return params.AOE_HEADER_BYTES
+
+    def frame_bytes(self) -> int:
+        """Wire payload size of the command frame itself."""
+        if self.op == "write":
+            # Write commands are followed by data fragments; the command
+            # frame itself is header-only.
+            return self.header_bytes
+        return self.header_bytes
+
+
+@dataclass(frozen=True)
+class AoeDataFragment:
+    """One fragment of a transfer (server->initiator for reads,
+    initiator->server for writes)."""
+
+    tag: int
+    fragment_index: int
+    fragment_total: int
+    lba: int                 # first sector this fragment covers
+    sector_count: int        # sectors in this fragment
+    runs: tuple = ()         # content runs for reads
+
+    @property
+    def payload_bytes(self) -> int:
+        return (params.AOE_HEADER_BYTES
+                + self.sector_count * params.SECTOR_BYTES)
+
+
+@dataclass(frozen=True)
+class AoeAck:
+    """Server -> initiator completion for writes."""
+
+    tag: int
+
+    @property
+    def payload_bytes(self) -> int:
+        return params.AOE_HEADER_BYTES
+
+
+@dataclass
+class ReassemblyBuffer:
+    """Collects fragments of one read reply, tolerant of duplicates."""
+
+    tag: int
+    fragment_total: int | None = None
+    fragments: dict = field(default_factory=dict)
+
+    def add(self, fragment: AoeDataFragment) -> None:
+        if fragment.tag != self.tag:
+            raise ValueError("fragment for a different transaction")
+        self.fragment_total = fragment.fragment_total
+        # Duplicates (from retransmission) are idempotent.
+        self.fragments[fragment.fragment_index] = fragment
+
+    @property
+    def complete(self) -> bool:
+        return (self.fragment_total is not None
+                and len(self.fragments) == self.fragment_total)
+
+    def assemble(self) -> list:
+        """The full content-run list, in LBA order, coalesced."""
+        if not self.complete:
+            raise ValueError("reassembly incomplete")
+        runs: list = []
+        for index in range(self.fragment_total):
+            runs.extend(self.fragments[index].runs)
+        merged: list = []
+        for start, end, token in runs:
+            if merged and merged[-1][1] == start and merged[-1][2] == token:
+                merged[-1] = (merged[-1][0], end, token)
+            else:
+                merged.append((start, end, token))
+        return merged
+
+
+def split_read_reply(tag: int, lba: int, runs: list, mtu: int):
+    """Split a read reply's runs into per-frame fragments.
+
+    ``runs`` tile ``[lba, lba + total)``; each fragment carries the runs
+    clipped to its own sector window.
+    """
+    total = sum(end - start for start, end, _ in runs)
+    per_frame = sectors_per_frame(mtu)
+    count = fragment_count(total, mtu)
+    fragments = []
+    for index in range(count):
+        window_start = lba + index * per_frame
+        window_end = min(lba + total, window_start + per_frame)
+        clipped = tuple(
+            (max(start, window_start), min(end, window_end), token)
+            for start, end, token in runs
+            if start < window_end and end > window_start
+        )
+        fragments.append(AoeDataFragment(
+            tag=tag,
+            fragment_index=index,
+            fragment_total=count,
+            lba=window_start,
+            sector_count=window_end - window_start,
+            runs=clipped,
+        ))
+    return fragments
+
+
+def split_write_payload(tag: int, lba: int, sector_count: int, runs: list,
+                        mtu: int):
+    """Fragments for the data of a write command."""
+    return split_read_reply(tag, lba, _clip_runs(runs, lba, sector_count),
+                            mtu)
+
+
+def _clip_runs(runs: list, lba: int, sector_count: int) -> list:
+    end_lba = lba + sector_count
+    return [
+        (max(start, lba), min(end, end_lba), token)
+        for start, end, token in runs
+        if start < end_lba and end > lba
+    ]

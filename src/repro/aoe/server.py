@@ -1,0 +1,184 @@
+"""vblade-style AoE target.
+
+Serves an OS image over the switch.  The stock vblade is single-threaded
+and bottlenecks when an initiator floods read requests (paper 4.2); the
+reproduction implements both that and the paper's thread-pool version, so
+the difference is measurable (ablation bench).
+"""
+
+from __future__ import annotations
+
+from repro import params
+from repro.aoe.protocol import (
+    AoeAck,
+    AoeCommand,
+    split_read_reply,
+)
+from repro.net.nic import Nic
+from repro.sim import Environment, Resource, Store
+from repro.util.intervalmap import IntervalMap
+
+
+class ImageStore:
+    """Server-side backing store for OS images.
+
+    The image mostly sits in the server's page cache (it is served to
+    every new instance), so reads alternate deterministically between a
+    cheap cache hit and a disk-priced miss at the configured ratio.
+    """
+
+    def __init__(self, env: Environment, contents: IntervalMap,
+                 image_sectors: int,
+                 cache_hit_ratio: float = 0.85,
+                 hit_seconds: float = 150e-6,
+                 miss_seconds: float = 6e-3,
+                 bandwidth: float = 800e6):
+        if not 0.0 <= cache_hit_ratio <= 1.0:
+            raise ValueError("cache_hit_ratio must be in [0, 1]")
+        self.env = env
+        self.contents = contents
+        self.image_sectors = image_sectors
+        self.cache_hit_ratio = cache_hit_ratio
+        self.hit_seconds = hit_seconds
+        self.miss_seconds = miss_seconds
+        self.bandwidth = bandwidth
+        self._request_index = 0
+        self.reads = 0
+
+    #: Requests at/above this size are streaming reads the server's
+    #: readahead keeps in cache (the background copier's bulk fetches).
+    STREAMING_SECTORS = 1024
+
+    def read(self, lba: int, sector_count: int):
+        """Generator: fetch runs for ``[lba, lba+sector_count)``."""
+        self._request_index += 1
+        self.reads += 1
+        if sector_count >= self.STREAMING_SECTORS:
+            # Sequential bulk: the prefetcher hides the disk.
+            is_hit = True
+        elif self.cache_hit_ratio >= 1.0:
+            is_hit = True
+        elif self.cache_hit_ratio <= 0.0:
+            is_hit = False
+        else:
+            # Deterministic interleave achieving the hit ratio.
+            period = 1.0 / (1.0 - self.cache_hit_ratio)
+            is_hit = (self._request_index % round(period)) != 0
+        base = self.hit_seconds if is_hit else self.miss_seconds
+        transfer = sector_count * params.SECTOR_BYTES / self.bandwidth
+        yield self.env.timeout(base + transfer)
+        return list(self.contents.runs_in(lba, sector_count))
+
+    def write(self, lba: int, runs: list):
+        """Generator: store runs (initiator write path; rarely used)."""
+        nbytes = sum(end - start for start, end, _ in runs) \
+            * params.SECTOR_BYTES
+        yield self.env.timeout(self.miss_seconds
+                               + nbytes / self.bandwidth)
+        for start, end, token in runs:
+            if token is None:
+                self.contents.clear_range(start, end - start)
+            else:
+                self.contents.set_range(start, end - start, token)
+
+
+class AoeServer:
+    """AoE target process bound to one NIC.
+
+    ``workers=1`` reproduces stock single-threaded vblade; the paper's
+    version uses a pool.
+    """
+
+    #: Per-frame software cost (syscall + copy) on the server; this is
+    #: what jumbo frames amortize (paper 4.2's extension).
+    PER_FRAME_CPU_SECONDS = 3e-6
+
+    def __init__(self, env: Environment, nic: Nic, store: ImageStore,
+                 workers: int = 8, mtu: int | None = None):
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.env = env
+        self.nic = nic
+        self.store = store
+        self.mtu = mtu if mtu is not None else nic.switch.mtu
+        self.workers = Resource(env, capacity=workers)
+        self.worker_count = workers
+        self._inbox: Store = Store(env)
+        self._process = None
+        # Metrics.
+        self.commands_served = 0
+        self.fragments_sent = 0
+
+    def start(self):
+        """Spawn the receive/dispatch loop; returns the process."""
+        if self._process is None:
+            self._process = self.env.process(self._run(), name="aoe-server")
+        return self._process
+
+    def stop(self) -> None:
+        if self._process is not None and self._process.is_alive:
+            self._process.interrupt("stop")
+        self._process = None
+
+    # -- internals ---------------------------------------------------------------
+
+    def _run(self):
+        from repro.sim import Interrupt
+        try:
+            while True:
+                frame = yield from self.nic.recv()
+                command = frame.payload
+                if isinstance(command, AoeCommand):
+                    self.env.process(
+                        self._serve(command, reply_to=frame.src),
+                        name=f"aoe-serve-{command.tag}")
+        except Interrupt:
+            return
+
+    def _serve(self, command: AoeCommand, reply_to: str):
+        with self.workers.request() as grant:
+            yield grant
+            if command.op == "read":
+                yield from self._serve_read(command, reply_to)
+            elif command.op == "write":
+                yield from self._serve_write(command, reply_to)
+            else:
+                raise ValueError(f"unknown AoE op {command.op!r}")
+        self.commands_served += 1
+
+    def _serve_read(self, command: AoeCommand, reply_to: str):
+        runs = yield from self.store.read(command.lba, command.sector_count)
+        if command.bulk:
+            yield from self._serve_read_bulk(command, reply_to, runs)
+            return
+        fragments = split_read_reply(command.tag, command.lba, runs,
+                                     self.mtu)
+        for fragment in fragments:
+            yield self.env.timeout(self.PER_FRAME_CPU_SECONDS)
+            yield from self.nic.send(reply_to, fragment,
+                                     fragment.payload_bytes)
+            self.fragments_sent += 1
+
+    def _serve_read_bulk(self, command: AoeCommand, reply_to: str,
+                         runs: list):
+        """Aggregate path: one logical fragment, full wire time."""
+        from repro.aoe.protocol import AoeDataFragment, sectors_per_frame
+        payload_bytes = command.sector_count * params.SECTOR_BYTES
+        per_frame_payload = sectors_per_frame(self.mtu) \
+            * params.SECTOR_BYTES + params.AOE_HEADER_BYTES
+        frames = max(1, -(-payload_bytes // per_frame_payload))
+        yield self.env.timeout(frames * self.PER_FRAME_CPU_SECONDS)
+        fragment = AoeDataFragment(
+            tag=command.tag, fragment_index=0, fragment_total=1,
+            lba=command.lba, sector_count=command.sector_count,
+            runs=tuple(runs))
+        yield from self.nic.switch.bulk_transfer(
+            self.nic.name, reply_to, fragment, payload_bytes,
+            per_frame_payload)
+        self.fragments_sent += 1
+
+    def _serve_write(self, command: AoeCommand, reply_to: str):
+        yield from self.store.write(command.lba,
+                                    list(command.payload_runs))
+        ack = AoeAck(command.tag)
+        yield from self.nic.send(reply_to, ack, ack.payload_bytes)

@@ -1,0 +1,26 @@
+"""Application workload models for the paper's evaluation."""
+
+from repro.apps.fio import FioBenchmark, IopingBenchmark
+from repro.apps.kernbench import KernbenchRun
+from repro.apps.kvstore import CASSANDRA, MEMCACHED, KvStoreServer
+from repro.apps.mpi import COLLECTIVES, MpiCluster
+from repro.apps.perftest import RdmaPerfTest
+from repro.apps.sysbench import MemoryBenchmark, ThreadBenchmark
+from repro.apps.ycsb import READ_HEAVY, WRITE_HEAVY, YcsbBenchmark
+
+__all__ = [
+    "CASSANDRA",
+    "COLLECTIVES",
+    "FioBenchmark",
+    "IopingBenchmark",
+    "KernbenchRun",
+    "KvStoreServer",
+    "MEMCACHED",
+    "MemoryBenchmark",
+    "MpiCluster",
+    "RdmaPerfTest",
+    "READ_HEAVY",
+    "ThreadBenchmark",
+    "WRITE_HEAVY",
+    "YcsbBenchmark",
+]

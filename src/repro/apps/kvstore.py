@@ -1,0 +1,147 @@
+"""NoSQL store models: memcached-like and Cassandra-like engines.
+
+The engines expose *capacity*, not request-level simulation: per sampling
+window they compute achievable operations/second and mean latency from
+the machine's live platform condition (CPU and TLB costs, per-network-op
+overheads) plus **real disk I/O** for the write path — Cassandra's
+commit-log/SSTable flushes go through the instance's storage facade, so
+the deploy-phase interference in Figure 5c/d emerges from the mediator's
+multiplexing, not from a constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import params
+from repro.hw.mmu import PROFILE_KV_STORE
+
+
+@dataclass(frozen=True)
+class KvEngineProfile:
+    """Calibration of one storage engine (paper 5.2's bare-metal points)."""
+
+    name: str
+    #: Bare-metal throughput at the benchmark's client load, ops/second.
+    base_tps: float
+    #: Bare-metal mean operation latency, seconds.
+    base_latency: float
+    #: Of the base latency, the share that is server-side CPU service
+    #: time (scaled by the platform's CPU slowdown); the rest is network
+    #: round trip (scaled by the IB latency factor).
+    service_fraction: float
+    #: Disk bytes persisted per write operation (commit log + flushes).
+    write_bytes_per_op: float
+    #: Flush granularity (bytes per disk request).
+    flush_bytes: int = 2 * 2**20
+    #: Throughput sensitivity to disk-flush backpressure: the fraction of
+    #: flush-time/window that converts into lost throughput.
+    flush_backpressure: float = 0.35
+
+
+#: memcached: pure in-memory, read-mostly (paper: 36.4 KT/s, 281 us).
+MEMCACHED = KvEngineProfile(
+    name="memcached",
+    base_tps=36_400.0,
+    base_latency=281e-6,
+    service_fraction=0.45,
+    write_bytes_per_op=0.0,
+)
+
+#: Cassandra: write-optimized LSM store (paper: 60.0 KT/s, 2443 us).
+CASSANDRA = KvEngineProfile(
+    name="cassandra",
+    base_tps=60_000.0,
+    base_latency=2443e-6,
+    service_fraction=0.80,
+    # Commit log + memtable flush + compaction write amplification.
+    write_bytes_per_op=500.0,
+)
+
+
+class KvStoreServer:
+    """A store instance running on a deployed machine."""
+
+    def __init__(self, instance, profile: KvEngineProfile,
+                 data_lba: int | None = None):
+        self.instance = instance
+        self.profile = profile
+        # Where the store persists its data files: the image's data
+        # partition (24 GiB in; 1 GiB = 2**21 sectors), away from the
+        # boot working set.
+        if data_lba is None:
+            data_lba = 24 * 2**21
+        self.data_lba = data_lba
+        self._flush_cursor = 0
+        # Metrics.
+        self.ops_served = 0
+        self.flush_ops = 0
+        self.flush_seconds_total = 0.0
+
+    # -- the per-window capacity model --------------------------------------------
+
+    def window_capacity(self, window: float, write_fraction: float):
+        """Generator: serve one window; returns (ops, mean_latency).
+
+        Performs the window's flush I/O through the real storage path,
+        measures how long it took, and folds that back into capacity and
+        latency.  The caller is expected to run this to completion; it
+        consumes exactly ``window`` seconds unless the disk cannot keep
+        up (then longer — throughput collapses accordingly).
+        """
+        env = self.instance.env
+        condition = self.instance.condition
+        profile = self.profile
+        start = env.now
+
+        cpu_factor = condition.cpu_slowdown(
+            PROFILE_KV_STORE.tlb_stall_fraction)
+        cpu_factor *= (1.0 + condition.net_op_overhead)
+        ops_target = profile.base_tps * window / cpu_factor
+
+        # Real disk work for the write path.
+        flush_bytes = ops_target * write_fraction \
+            * profile.write_bytes_per_op
+        flush_seconds = 0.0
+        if flush_bytes > 0:
+            flush_seconds = yield from self._do_flushes(flush_bytes)
+        self.flush_seconds_total += flush_seconds
+
+        # Backpressure: time the flush path stole from serving.
+        busy_fraction = min(1.0, flush_seconds / window)
+        throughput_factor = 1.0 / (1.0 + profile.flush_backpressure
+                                   * busy_fraction)
+        ops = ops_target * throughput_factor
+
+        # Latency: network leg + service leg + sync share of flushes.
+        network_leg = profile.base_latency * (1 - profile.service_fraction)
+        service_leg = profile.base_latency * profile.service_fraction
+        latency = (network_leg * condition.ib_latency_factor
+                   + service_leg * cpu_factor)
+        if ops > 0 and flush_seconds > 0:
+            # A slice of each write op waits on group commit.
+            latency += (flush_seconds / ops) * write_fraction
+
+        # Sleep out the remainder of the window.
+        elapsed = env.now - start
+        if elapsed < window:
+            yield env.timeout(window - elapsed)
+        self.ops_served += ops
+        return ops, latency
+
+    def _do_flushes(self, flush_bytes: float):
+        """Write ``flush_bytes`` through the real path; returns seconds."""
+        env = self.instance.env
+        start = env.now
+        remaining = int(flush_bytes)
+        flush_request = self.profile.flush_bytes
+        data_span = 4 * 2**21  # cycle over a 4-GiB file area (sectors)
+        while remaining > 0:
+            chunk = min(remaining, flush_request)
+            sectors = max(1, chunk // params.SECTOR_BYTES)
+            lba = self.data_lba + self._flush_cursor
+            self._flush_cursor = (self._flush_cursor + sectors) % data_span
+            yield from self.instance.write(lba, sectors, tag="flush")
+            self.flush_ops += 1
+            remaining -= chunk
+        return env.now - start

@@ -1,0 +1,131 @@
+"""OSU-style MPI collective micro-benchmarks (paper 5.3, Figure 6).
+
+Collectives run as real message exchanges over the simulated InfiniBand
+fabric: each round's sends go through the HCAs, so per-node platform
+conditions (latency factors, per-message software overheads) shape the
+measured collective latency exactly as Figure 6 shows — near-bare-metal
+for BMcast, heavily taxed for KVM on latency-bound collectives like
+Allgather.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.hw.mmu import PROFILE_COMPILE
+from repro.sim import Environment
+
+COLLECTIVES = ("barrier", "bcast", "gather", "scatter",
+               "allgather", "allreduce")
+
+
+class MpiCluster:
+    """A set of instances running one MPI job."""
+
+    def __init__(self, instances):
+        if len(instances) < 2:
+            raise ValueError("MPI needs at least two nodes")
+        self.instances = list(instances)
+        self.env: Environment = instances[0].env
+        self.hcas = [instance.machine.infiniband
+                     for instance in instances]
+        if any(hca is None for hca in self.hcas):
+            raise ValueError("every node needs an InfiniBand HCA")
+
+    @property
+    def size(self) -> int:
+        return len(self.instances)
+
+    # -- collective latency measurement ------------------------------------------------
+
+    def measure(self, collective: str, message_bytes: int = 8,
+                iterations: int = 20):
+        """Generator: mean latency (seconds) of ``collective``."""
+        if collective not in COLLECTIVES:
+            raise ValueError(f"unknown collective {collective!r}")
+        runner = getattr(self, "_run_" + collective)
+        env = self.env
+        start = env.now
+        for _ in range(iterations):
+            yield from runner(message_bytes)
+        return (env.now - start) / iterations
+
+    # -- per-message cost --------------------------------------------------------------
+
+    def _hop(self, sender_index: int, receiver_index: int, nbytes: int):
+        """Generator: one point-to-point message."""
+        sender = self.instances[sender_index]
+        condition = sender.condition
+        hca = self.hcas[sender_index]
+        peer = self.hcas[receiver_index].name
+        yield from hca.rdma_write(peer, nbytes)
+        if condition.ib_sw_overhead > 0:
+            yield self.env.timeout(condition.ib_sw_overhead)
+
+    def _parallel_hops(self, pairs, nbytes: int):
+        """Generator: all (sender, receiver) hops concurrently; barrier."""
+        processes = [
+            self.env.process(self._hop(sender, receiver, nbytes),
+                             name=f"mpi-hop-{sender}-{receiver}")
+            for sender, receiver in pairs
+        ]
+        yield self.env.all_of(processes)
+
+    def _rounds(self) -> int:
+        return max(1, math.ceil(math.log2(self.size)))
+
+    # -- collectives --------------------------------------------------------------------
+
+    def _run_barrier(self, nbytes: int):
+        # Dissemination barrier: log2(N) rounds of tiny messages.
+        for round_index in range(self._rounds()):
+            stride = 1 << round_index
+            pairs = [(rank, (rank + stride) % self.size)
+                     for rank in range(self.size)]
+            yield from self._parallel_hops(pairs, 8)
+
+    def _run_bcast(self, nbytes: int):
+        # Binomial tree: log2(N) rounds from rank 0.
+        reached = 1
+        while reached < self.size:
+            pairs = [(rank, rank + reached)
+                     for rank in range(min(reached, self.size - reached))]
+            yield from self._parallel_hops(pairs, nbytes)
+            reached *= 2
+
+    def _run_gather(self, nbytes: int):
+        # Everyone sends to root; root's HCA serializes receives, which
+        # the sender-side queues capture.
+        pairs = [(rank, 0) for rank in range(1, self.size)]
+        yield from self._parallel_hops(pairs, nbytes)
+
+    def _run_scatter(self, nbytes: int):
+        # Root sends a distinct chunk to everyone (serial on root's HCA).
+        for rank in range(1, self.size):
+            yield from self._hop(0, rank, nbytes)
+
+    def _run_allgather(self, nbytes: int):
+        # Ring allgather: N-1 rounds, each node forwards to its neighbour.
+        for _ in range(self.size - 1):
+            pairs = [(rank, (rank + 1) % self.size)
+                     for rank in range(self.size)]
+            yield from self._parallel_hops(pairs, nbytes)
+
+    def _run_allreduce(self, nbytes: int):
+        # Recursive doubling: log2(N) exchange rounds plus the local
+        # reduction work each round.
+        for round_index in range(self._rounds()):
+            stride = 1 << round_index
+            pairs = [(rank, rank ^ stride) for rank in range(self.size)
+                     if rank ^ stride < self.size]
+            yield from self._parallel_hops(pairs, nbytes)
+            yield from self._reduce_compute(nbytes)
+
+    def _reduce_compute(self, nbytes: int):
+        # Local combine cost, scaled by each node's CPU condition; the
+        # slowest node gates the round.
+        slowest = max(
+            instance.condition.cpu_slowdown(
+                PROFILE_COMPILE.tlb_stall_fraction)
+            for instance in self.instances)
+        yield self.env.timeout(max(nbytes, 64) * 0.15e-9 * slowest)

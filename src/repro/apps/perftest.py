@@ -1,0 +1,54 @@
+"""OFED perftest: ib_rdma_bw and ib_rdma_lat (paper 5.5.3, Figs 12/13).
+
+1,000 RDMA operations of 64 KB between two instances, reporting
+throughput and latency.  Throughput saturates the link on every platform
+(the HCA's command queuing hides virtualization); latency exposes the
+platform tax.
+"""
+
+from __future__ import annotations
+
+
+class RdmaPerfTest:
+    """ib_rdma_bw / ib_rdma_lat between two instances."""
+
+    OPERATIONS = 1000
+    MESSAGE_BYTES = 64 * 1024
+
+    def __init__(self, client, server):
+        self.client = client
+        self.server = server
+        self.hca = client.machine.infiniband
+        self.peer = server.machine.infiniband.name
+        if self.hca is None or server.machine.infiniband is None:
+            raise ValueError("both instances need InfiniBand HCAs")
+
+    def bandwidth(self):
+        """Generator: ib_rdma_bw; returns bytes/second.
+
+        Operations are pipelined (the card queues them), so throughput
+        is bandwidth-limited, not latency-limited.
+        """
+        env = self.client.env
+        start = env.now
+        processes = []
+        for _ in range(self.OPERATIONS):
+            processes.append(env.process(
+                self.hca.rdma_write(self.peer, self.MESSAGE_BYTES),
+                name="rdma-bw-op"))
+        yield env.all_of(processes)
+        elapsed = env.now - start
+        return self.OPERATIONS * self.MESSAGE_BYTES / elapsed
+
+    def latency(self, message_bytes: int | None = None,
+                operations: int = 200):
+        """Generator: ib_rdma_lat; returns mean seconds per op."""
+        env = self.client.env
+        nbytes = message_bytes if message_bytes is not None \
+            else self.MESSAGE_BYTES
+        start = env.now
+        for _ in range(operations):
+            # Raw verbs latency: no MPI-style software path on top, so
+            # only the platform's HCA-access tax applies (paper Fig. 13).
+            yield from self.hca.rdma_write(self.peer, nbytes)
+        return (env.now - start) / operations

@@ -1,0 +1,94 @@
+"""SysBench thread and memory micro-benchmarks (paper 5.5.1).
+
+* Threads: repeated acquire-yield-release over 8 mutexes from 1-24
+  threads.  Contention cost explodes under lock-holder preemption
+  (KVM, Figure 8) and stays modest under BMcast's thin trapping.
+* Memory: allocate-and-write blocks of 1-16 KB until 1 MB is written.
+  Sensitive to nested-paging walks and cache pollution (Figure 9).
+"""
+
+from __future__ import annotations
+
+from repro import params
+from repro.hw.mmu import PROFILE_MEMORY_BENCH, PROFILE_THREADS
+
+
+#: Bare-metal time for one lock iteration (acquire+yield+release).
+LOCK_ITERATION_SECONDS = 1.1e-6
+
+#: Iterations per thread in the paper's configuration.
+LOCK_ITERATIONS = 1000
+
+#: Number of mutexes contended.
+MUTEXES = 8
+
+#: Bare-metal memory write bandwidth for the allocate+write loop.
+MEMORY_WRITE_BW = 6.0e9
+
+#: Per-allocation overhead (malloc + page touch).
+ALLOC_OVERHEAD_SECONDS = 0.4e-6
+
+
+class ThreadBenchmark:
+    """sysbench threads: returns total elapsed time."""
+
+    def __init__(self, instance, mutexes: int = MUTEXES,
+                 iterations: int = LOCK_ITERATIONS):
+        self.instance = instance
+        self.mutexes = mutexes
+        self.iterations = iterations
+
+    def run(self, threads: int):
+        """Generator: run with ``threads`` workers; returns seconds."""
+        if threads < 1:
+            raise ValueError("need at least one thread")
+        env = self.instance.env
+        condition = self.instance.condition
+        cores = self.instance.machine.spec.cores
+
+        cpu_factor = condition.cpu_slowdown(
+            PROFILE_THREADS.tlb_stall_fraction)
+        lhp_factor = condition.lhp_slowdown(threads, cores)
+        # Contention grows with threads per mutex even on bare metal.
+        contention = 1.0 + 0.35 * max(0.0, threads / self.mutexes - 1.0) \
+            / (cores / self.mutexes)
+        per_iteration = LOCK_ITERATION_SECONDS * contention \
+            * cpu_factor * lhp_factor
+        # Threads run in parallel across cores; elapsed time is the
+        # per-thread serial work (they all do `iterations` each).
+        rounds = max(1.0, threads / cores)
+        elapsed = self.iterations * per_iteration * rounds
+        yield env.timeout(elapsed)
+        return elapsed
+
+
+class MemoryBenchmark:
+    """sysbench memory: returns achieved write throughput (bytes/s)."""
+
+    TOTAL_BYTES = 2**20  # 1 MB written per run
+
+    def __init__(self, instance):
+        self.instance = instance
+
+    def run(self, block_kb: float):
+        """Generator: run at ``block_kb`` KB blocks; returns bytes/s."""
+        if block_kb <= 0:
+            raise ValueError("block size must be positive")
+        env = self.instance.env
+        condition = self.instance.condition
+        block_bytes = block_kb * 1024
+        allocations = self.TOTAL_BYTES / block_bytes
+
+        slowdown = condition.memory_slowdown(
+            block_kb, PROFILE_MEMORY_BENCH.tlb_stall_fraction)
+        write_seconds = self.TOTAL_BYTES / MEMORY_WRITE_BW * slowdown
+        alloc_seconds = allocations * ALLOC_OVERHEAD_SECONDS \
+            * condition.cpu_slowdown()
+        elapsed = write_seconds + alloc_seconds
+        yield env.timeout(elapsed)
+        return self.TOTAL_BYTES / elapsed
+
+
+# Re-export for bench scripts that sweep the paper's parameter ranges.
+THREAD_SWEEP = tuple(range(1, params.CPU_CORES * 2 + 1))
+BLOCK_KB_SWEEP = (1, 2, 4, 8, 16)

@@ -1,0 +1,18 @@
+"""Deployment baselines the paper compares against."""
+
+from repro.baselines.image_copy import ImageCopyDeployment
+from repro.baselines.kvm import KvmInstance, kvm_condition
+from repro.baselines.network_boot import NetworkBootInstance
+from repro.baselines.os_streaming import (
+    OsNotSupportedError,
+    StreamingOsInstance,
+)
+
+__all__ = [
+    "ImageCopyDeployment",
+    "KvmInstance",
+    "NetworkBootInstance",
+    "OsNotSupportedError",
+    "StreamingOsInstance",
+    "kvm_condition",
+]

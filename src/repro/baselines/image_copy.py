@@ -1,0 +1,98 @@
+"""Image-copy deployment baseline (paper 2, 5.1).
+
+The OpenStack-Nova-style flow: network-boot a small installer OS, stream
+the *entire* image from the server to the local disk, reboot the machine
+(paying firmware initialization a second time), then boot the deployed
+OS from the local disk.  OS-transparent but slow — the 544-second bar in
+Figure 4.
+"""
+
+from __future__ import annotations
+
+from repro import params
+from repro.aoe.client import AoeInitiator
+from repro.guest.osimage import OsImage
+from repro.sim import Environment, Store
+from repro.storage.blockdev import BlockOp, BlockRequest
+
+
+#: How much the installer fetches per request (pipelined).
+TRANSFER_CHUNK_BYTES = 16 * 2**20
+
+#: Extra restart time beyond firmware re-initialization (POST handoff,
+#: bootloader).  Paper: restart measured 145 s with 133 s firmware.
+RESTART_EXTRA_SECONDS = 12.0
+
+
+class ImageCopyDeployment:
+    """Deploys one node by full image copy."""
+
+    def __init__(self, env: Environment, node, server: str,
+                 image: OsImage,
+                 installer_boot_seconds: float =
+                 params.IMAGE_COPY_INSTALLER_BOOT_SECONDS):
+        self.env = env
+        self.node = node
+        self.image = image
+        self.installer_boot_seconds = installer_boot_seconds
+        self.initiator = AoeInitiator(env, node.vmm_nic, server)
+        # Metrics.
+        self.transfer_seconds: float | None = None
+        self.bytes_copied = 0
+
+    def run(self):
+        """Generator: installer boot + full copy + reboot.
+
+        Firmware is assumed already initialized (the provisioner owns
+        power-on).  After this returns, the OS can boot from local disk.
+        """
+        env = self.env
+        # 1. Network-boot the installer OS.
+        yield from self.node.machine.firmware.network_boot()
+        yield env.timeout(self.installer_boot_seconds)
+
+        # 2. Stream the whole image to the local disk, pipelined:
+        #    fetching chunk N+1 overlaps writing chunk N.
+        start = env.now
+        chunk_sectors = TRANSFER_CHUNK_BYTES // params.SECTOR_BYTES
+        total_sectors = self.image.total_sectors
+        fifo = Store(env, capacity=2)
+
+        def fetcher():
+            cursor = 0
+            while cursor < total_sectors:
+                count = min(chunk_sectors, total_sectors - cursor)
+                runs = yield from self.initiator.read_blocks(
+                    cursor, count, bulk=True)
+                yield fifo.put((cursor, count, runs))
+                cursor += count
+            yield fifo.put(None)
+
+        def writer():
+            while True:
+                item = yield fifo.get()
+                if item is None:
+                    return
+                cursor, count, runs = item
+                request = BlockRequest(BlockOp.WRITE, cursor, count,
+                                       origin="installer")
+                request.buffer.runs = runs
+                yield from self.node.disk.execute(request)
+                self.bytes_copied += count * params.SECTOR_BYTES
+
+        self.initiator.start()
+        fetch_process = env.process(fetcher(), name="imagecopy-fetch")
+        write_process = env.process(writer(), name="imagecopy-write")
+        yield env.all_of([fetch_process, write_process])
+        self.initiator.stop()
+        self.transfer_seconds = env.now - start
+
+        # 3. Reboot into the deployed OS: full firmware pass again.
+        yield from self.node.machine.firmware.reboot()
+        yield env.timeout(RESTART_EXTRA_SECONDS)
+
+    @property
+    def transfer_rate(self) -> float:
+        if not self.transfer_seconds:
+            return 0.0
+        return self.bytes_copied / self.transfer_seconds

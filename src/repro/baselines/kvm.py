@@ -1,0 +1,134 @@
+"""KVM (+ELI) baseline (the paper's comparison VMM throughout Section 5).
+
+KVM is modelled as a black-box platform with the overhead mechanisms the
+paper attributes to it: nested paging + cache pollution (memory), exit
+and emulation costs (CPU), lock-holder preemption (threads), virtio
+storage penalties, and the IOMMU/caching latency tax on direct-assigned
+InfiniBand.  Its guests' disk I/O really hits the simulated local disk —
+through a virtio throughput penalty — or an NFS/iSCSI network backend.
+
+The paper's configuration is reproduced: processor pinning and 2-GB huge
+pages (which is why the modelled memory overhead, 35%, is the *tuned*
+number, not a worst case), and the ELI patch for exit-less interrupts.
+"""
+
+from __future__ import annotations
+
+from repro import params
+from repro.aoe.client import AoeInitiator
+from repro.guest.osimage import OsImage
+from repro.hw.platform import PlatformCondition
+from repro.sim import Environment
+from repro.storage.blockdev import BlockOp, BlockRequest
+from repro.util.intervalmap import IntervalMap
+
+
+def kvm_condition(backend: str = "local") -> PlatformCondition:
+    """The platform condition a KVM guest runs under."""
+    if backend == "local":
+        read_overhead = params.KVM_STORAGE_READ_OVERHEAD_LOCAL
+        write_overhead = params.KVM_STORAGE_WRITE_OVERHEAD_LOCAL
+    elif backend in ("nfs", "iscsi"):
+        read_overhead = params.KVM_STORAGE_READ_OVERHEAD_NFS
+        write_overhead = params.KVM_STORAGE_WRITE_OVERHEAD_NFS
+    else:
+        raise ValueError(f"unknown KVM storage backend {backend!r}")
+    return PlatformCondition(
+        label=f"kvm-{backend}",
+        nested_paging=True,
+        # Huge pages halve the page-walk inflation (tuned setup).
+        tlb_miss_multiplier=params.EPT_TLB_MISS_MULTIPLIER / 2.0,
+        tlb_walk_multiplier=params.EPT_TLB_WALK_MULTIPLIER,
+        cpu_overhead=params.KVM_CPU_OVERHEAD,
+        memory_overhead=params.KVM_MEMORY_OVERHEAD,
+        lock_holder_preemption=True,
+        ib_latency_factor=params.KVM_IB_LATENCY_FACTOR,
+        ib_sw_overhead=2.0e-6,
+        net_op_overhead=0.035,
+        storage_read_overhead=read_overhead,
+        storage_write_overhead=write_overhead,
+    )
+
+
+class KvmInstance:
+    """A guest on KVM with ELI, virtio storage, IB device assignment."""
+
+    def __init__(self, env: Environment, node, server: str,
+                 image: OsImage, backend: str = "nfs"):
+        if backend not in ("local", "nfs", "iscsi"):
+            raise ValueError(f"unknown backend {backend!r}")
+        self.env = env
+        self.node = node
+        self.image = image
+        self.backend = backend
+        self.condition = kvm_condition(backend)
+        self.booted = False
+        self._write_counter = 0
+        if backend == "local":
+            self.initiator = None
+            self.remote_writes = None
+        else:
+            self.initiator = AoeInitiator(env, node.guest_nic, server)
+            self.remote_writes = IntervalMap()
+
+    # -- startup ------------------------------------------------------------------
+
+    def boot(self):
+        """Generator: hypervisor boot + guest OS boot."""
+        yield from self.node.machine.firmware.network_boot()
+        # KVM host kernel + userspace (paper 5.1: 30 s).
+        yield self.env.timeout(params.KVM_BOOT_SECONDS)
+        self.node.machine.set_condition(self.condition)
+        if self.backend == "nfs":
+            guest_boot = params.KVM_GUEST_BOOT_NFS_SECONDS
+        elif self.backend == "iscsi":
+            guest_boot = params.KVM_GUEST_BOOT_ISCSI_SECONDS
+        else:
+            guest_boot = params.OS_BOOT_SECONDS * 1.1
+        if self.initiator is not None:
+            self.initiator.start()
+        yield self.env.timeout(guest_boot)
+        self.booted = True
+
+    @property
+    def hypervisor_boot_seconds(self) -> float:
+        return params.KVM_BOOT_SECONDS
+
+    # -- storage facade: virtio in front of local disk or network --------------------
+
+    def read(self, lba: int, sector_count: int):
+        """Generator: virtio read."""
+        if self.initiator is not None:
+            runs = yield from self.initiator.read_blocks(lba, sector_count)
+            return runs
+        request = BlockRequest(BlockOp.READ, lba, sector_count,
+                               origin="kvm-guest")
+        yield from self._virtio_execute(
+            request, self.condition.storage_read_overhead)
+        return request.buffer.runs
+
+    def write(self, lba: int, sector_count: int, tag: str = "app"):
+        """Generator: virtio write."""
+        self._write_counter += 1
+        token = ("kvm", tag, self._write_counter)
+        if self.initiator is not None:
+            yield from self.initiator.write_blocks(
+                lba, sector_count, [(lba, lba + sector_count, token)])
+            self.remote_writes.set_range(lba, sector_count, True)
+            return token
+        request = BlockRequest(BlockOp.WRITE, lba, sector_count,
+                               origin="kvm-guest")
+        request.buffer.fill_constant(token)
+        yield from self._virtio_execute(
+            request, self.condition.storage_write_overhead)
+        return token
+
+    def _virtio_execute(self, request: BlockRequest, overhead: float):
+        """Run on the local disk plus the virtio emulation cost."""
+        disk = self.node.disk
+        base = disk.service_time(request)
+        yield from disk.execute(request)
+        # Virtio/QEMU adds per-request processing that shaves the
+        # measured throughput by the calibrated fraction.
+        if overhead > 0:
+            yield self.env.timeout(base * overhead / (1.0 - overhead))

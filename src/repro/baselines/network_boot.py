@@ -1,0 +1,68 @@
+"""Network-boot (NFS-root style) baseline (paper 2, 5.1).
+
+The OS boots quickly with its root filesystem on the network and never
+deploys to the local disk, so *every* disk access pays the network for
+the instance's whole lifetime — quick start, continuous overhead, and it
+requires an OS configured for network root (not OS-transparent).
+"""
+
+from __future__ import annotations
+
+from repro import params
+from repro.aoe.client import AoeInitiator
+from repro.guest.osimage import OsImage
+from repro.sim import Environment
+from repro.util.intervalmap import IntervalMap
+
+
+class NetworkBootInstance:
+    """A diskless, network-rooted OS instance."""
+
+    #: Extra OS boot time over bare metal: netroot mounts instead of
+    #: local disk (paper 5.1 measured 49 s total boot vs 29 s local).
+    NETBOOT_EXTRA_SECONDS = 20.0
+
+    def __init__(self, env: Environment, node, server: str,
+                 image: OsImage):
+        self.env = env
+        self.node = node
+        self.image = image
+        self.initiator = AoeInitiator(env, node.guest_nic, server)
+        #: Server-side writes (the instance's mutations live remotely).
+        self.remote_writes = IntervalMap()
+        self._write_counter = 0
+        self.booted = False
+
+    def boot(self):
+        """Generator: network boot — no local deployment at all."""
+        yield from self.node.machine.firmware.network_boot()
+        self.initiator.start()
+        yield self.env.timeout(params.OS_BOOT_SECONDS
+                               + self.NETBOOT_EXTRA_SECONDS)
+        self.booted = True
+
+    # -- storage facade: everything crosses the network ---------------------------
+
+    def read(self, lba: int, sector_count: int):
+        """Generator: read over the network; returns content runs."""
+        runs = yield from self.initiator.read_blocks(lba, sector_count)
+        overlay = list(self.remote_writes.runs_in(lba, sector_count))
+        if any(token is not None for _, _, token in overlay):
+            merged = IntervalMap()
+            for start, end, token in runs:
+                if token is not None:
+                    merged.set_range(start, end - start, token)
+            for start, end, token in overlay:
+                if token is not None:
+                    merged.set_range(start, end - start, token)
+            runs = list(merged.runs_in(lba, sector_count))
+        return runs
+
+    def write(self, lba: int, sector_count: int, tag: str = "app"):
+        """Generator: write over the network."""
+        self._write_counter += 1
+        token = ("netboot", tag, self._write_counter)
+        yield from self.initiator.write_blocks(
+            lba, sector_count, [(lba, lba + sector_count, token)])
+        self.remote_writes.set_range(lba, sector_count, token)
+        return token

@@ -1,0 +1,185 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``deploy``    — deploy one instance by any method; print the timeline
+  and (for BMcast) the deployment summary.
+* ``compare``   — deploy by every method and print a Figure-4-style table.
+* ``sweep``     — the moderation write-interval sweep (Figure 14 shape).
+* ``info``      — the calibrated testbed constants.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import params
+from repro.cloud.provisioner import METHODS, Provisioner
+from repro.cloud.scenario import build_testbed
+from repro.guest.osimage import OsImage
+from repro.metrics.report import format_table
+from repro.vmm.moderation import interval_sweep_policy
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BMcast reproduction: deploy bare-metal instances "
+        "in a simulated cloud (ASPLOS 2015).")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    deploy = sub.add_parser("deploy", help="deploy one instance")
+    deploy.add_argument("--method", choices=METHODS, default="bmcast")
+    deploy.add_argument("--image-gb", type=float, default=4.0,
+                        help="OS image size (default 4; paper used 32)")
+    deploy.add_argument("--controller",
+                        choices=("ahci", "ide", "megaraid"),
+                        default="ahci")
+    deploy.add_argument("--cold", action="store_true",
+                        help="include the first firmware initialization")
+    deploy.add_argument("--prefetch", action="store_true",
+                        help="prefetch the boot working set (BMcast)")
+    deploy.add_argument("--wait", action="store_true",
+                        help="wait for deployment to finish (BMcast)")
+    deploy.add_argument("--trace", action="store_true",
+                        help="record and print the VMM's event trace")
+
+    compare = sub.add_parser("compare", help="compare every method")
+    compare.add_argument("--image-gb", type=float, default=4.0)
+
+    sweep = sub.add_parser("sweep", help="moderation interval sweep")
+    sweep.add_argument("--image-gb", type=float, default=2.0)
+
+    sub.add_parser("info", help="print testbed calibration")
+    return parser
+
+
+def _image(image_gb: float) -> OsImage:
+    size = int(image_gb * 2**30)
+    boot_bytes = min(params.OS_BOOT_READ_BYTES, size // 4)
+    return OsImage(size_bytes=size, boot_read_bytes=boot_bytes)
+
+
+def _segments(timeline) -> str:
+    return "; ".join(f"{label} {seconds:.0f}s"
+                     for label, seconds in timeline.segments)
+
+
+def cmd_deploy(args) -> int:
+    testbed = build_testbed(disk_controller=args.controller,
+                            image=_image(args.image_gb))
+    provisioner = Provisioner(testbed)
+    env = testbed.env
+    options = {}
+    if args.prefetch and args.method == "bmcast":
+        options["prefetch_lbas"] = testbed.image.boot_lbas()
+    if args.trace and args.method == "bmcast":
+        options["trace"] = True
+
+    instance = env.run(until=env.process(provisioner.deploy(
+        args.method, skip_firmware=not args.cold, **options)))
+    print(f"{args.method}: instance ready after "
+          f"{instance.timeline.total:.1f}s "
+          f"({_segments(instance.timeline)})")
+
+    platform = instance.platform
+    if args.wait and platform is not None and hasattr(platform, "copier"):
+        env.run(until=platform.copier.done)
+        env.run(until=env.now + 10.0)
+        print(f"deployment finished at t={env.now:.1f}s; "
+              f"phase={platform.phase}")
+        for key, value in platform.summary().items():
+            print(f"  {key}: {value}")
+    if getattr(args, "trace", False) and platform is not None \
+            and hasattr(platform, "tracer"):
+        print("\nlast trace events:")
+        print(platform.tracer.dump(limit=20))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    rows = []
+    for method in METHODS:
+        testbed = build_testbed(image=_image(args.image_gb))
+        provisioner = Provisioner(testbed)
+        env = testbed.env
+        try:
+            instance = env.run(until=env.process(
+                provisioner.deploy(method, skip_firmware=True)))
+        except Exception as error:  # e.g. unsupported OS for streaming
+            rows.append([method, "-", str(error)])
+            continue
+        rows.append([method, round(instance.timeline.total, 1),
+                     _segments(instance.timeline)])
+    print(format_table(["method", "ready (s)", "time spent on"], rows,
+                       title=f"Startup comparison "
+                       f"({args.image_gb:g}-GB image, warm firmware)"))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from repro.apps.fio import FioBenchmark
+    rows = []
+    for interval in (1.0, 0.1, 0.01, 1e-3, 0.0):
+        testbed = build_testbed(image=_image(args.image_gb))
+        provisioner = Provisioner(testbed)
+        env = testbed.env
+        instance = env.run(until=env.process(provisioner.deploy(
+            "bmcast", skip_firmware=True,
+            policy=interval_sweep_policy(interval))))
+        vmm = instance.platform
+        fio = FioBenchmark(instance)
+        fio.TOTAL_BYTES = 128 * 2**20
+        holder = {}
+
+        def measure():
+            yield from fio.layout()
+            before = vmm.copier.bytes_written + vmm.copier.writeback_bytes
+            start = env.now
+            holder["guest"] = yield from fio.read_throughput()
+            vmm_bytes = (vmm.copier.bytes_written
+                         + vmm.copier.writeback_bytes - before)
+            holder["vmm"] = vmm_bytes / (env.now - start)
+
+        env.run(until=env.process(measure()))
+        label = "full-speed" if interval == 0 else f"{interval:g}s"
+        rows.append([label, round(holder["guest"] / 1e6, 1),
+                     round(holder["vmm"] / 1e6, 1)])
+    print(format_table(
+        ["VMM write interval", "guest read MB/s", "VMM write MB/s"],
+        rows, title="Moderation sweep (Figure 14 shape)"))
+    return 0
+
+
+def cmd_info(args) -> int:
+    rows = [
+        ["CPU", f"{params.CPU_CORES} cores @ {params.CPU_HZ / 1e9:.2f} GHz"],
+        ["memory", f"{params.MEMORY_BYTES // 2**30} GB"],
+        ["firmware init", f"{params.FIRMWARE_INIT_SECONDS:.0f} s"],
+        ["disk", f"{params.DISK_READ_BW / 1e6:.1f} / "
+                 f"{params.DISK_WRITE_BW / 1e6:.1f} MB/s r/w"],
+        ["management net", f"{params.GBE_BITS_PER_SECOND / 1e9:.0f} GbE, "
+                           f"MTU {params.GBE_MTU}"],
+        ["InfiniBand", f"{params.IB_BITS_PER_SECOND / 1e9:.0f} Gb/s, "
+                       f"{params.IB_BASE_LATENCY_SECONDS * 1e6:.1f} us"],
+        ["OS image", f"{params.OS_IMAGE_BYTES // 2**30} GB "
+                     f"(boot reads {params.OS_BOOT_READ_BYTES // 2**20} MB)"],
+        ["copy block", f"{params.COPY_BLOCK_BYTES // 2**10} KB"],
+        ["poll interval", f"{params.POLL_INTERVAL_SECONDS * 1e6:.0f} us"],
+        ["VMM memory", f"{params.VMM_RESERVED_BYTES // 2**20} MB"],
+    ]
+    print(format_table(["parameter", "value"], rows,
+                       title="Calibrated testbed "
+                       "(FUJITSU PRIMERGY RX200 S6, paper Section 5)"))
+    return 0
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    handler = {
+        "deploy": cmd_deploy,
+        "compare": cmd_compare,
+        "sweep": cmd_sweep,
+        "info": cmd_info,
+    }[args.command]
+    return handler(args)

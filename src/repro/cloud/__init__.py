@@ -1,0 +1,17 @@
+"""Cloud orchestration: testbeds, instances, the provisioner."""
+
+from repro.cloud.cluster import Cluster
+from repro.cloud.instance import Instance, StartupTimeline
+from repro.cloud.provisioner import METHODS, Provisioner
+from repro.cloud.scenario import Testbed, TestbedNode, build_testbed
+
+__all__ = [
+    "Cluster",
+    "Instance",
+    "METHODS",
+    "Provisioner",
+    "StartupTimeline",
+    "Testbed",
+    "TestbedNode",
+    "build_testbed",
+]

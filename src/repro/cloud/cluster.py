@@ -1,0 +1,101 @@
+"""Cluster orchestration: deploy and manage groups of instances.
+
+The elasticity workflows the paper motivates — scale out a tier, stand
+up an HPC cluster, rotate capacity — operate on groups, not single
+machines.  :class:`Cluster` packages the common moves: simultaneous
+deployment, waiting for every node's streaming deployment to finish,
+and collective health checks.
+"""
+
+from __future__ import annotations
+
+from repro.cloud.instance import Instance
+from repro.cloud.provisioner import Provisioner
+from repro.cloud.scenario import Testbed
+
+
+class Cluster:
+    """A group of instances on one testbed."""
+
+    def __init__(self, testbed: Testbed,
+                 provisioner: Provisioner | None = None):
+        self.testbed = testbed
+        self.env = testbed.env
+        self.provisioner = provisioner or Provisioner(testbed)
+        self.instances: list[Instance] = []
+
+    def __len__(self) -> int:
+        return len(self.instances)
+
+    # -- deployment ------------------------------------------------------------
+
+    def deploy_all(self, method: str, node_indexes=None,
+                   skip_firmware: bool = True, **options):
+        """Generator: deploy onto every node simultaneously.
+
+        Returns the instances in node order once all are ready (the
+        all-ready barrier is what an operator's "scale out by N" sees).
+        """
+        if node_indexes is None:
+            node_indexes = range(len(self.testbed.nodes))
+        slots: dict[int, Instance] = {}
+
+        def deploy_one(index):
+            instance = yield from self.provisioner.deploy(
+                method, node_index=index, skip_firmware=skip_firmware,
+                **options)
+            slots[index] = instance
+
+        processes = [
+            self.env.process(deploy_one(index), name=f"deploy-{index}")
+            for index in node_indexes
+        ]
+        yield self.env.all_of(processes)
+        deployed = [slots[index] for index in sorted(slots)]
+        self.instances.extend(deployed)
+        return deployed
+
+    # -- lifecycle barriers ----------------------------------------------------------
+
+    def wait_deployment_complete(self, settle_seconds: float = 10.0):
+        """Generator: until every BMcast node has de-virtualized."""
+        for instance in self.instances:
+            platform = instance.platform
+            if platform is None or not hasattr(platform, "copier"):
+                continue
+            if not platform.copier.done.triggered:
+                yield platform.copier.done
+        yield self.env.timeout(settle_seconds)
+
+    # -- state queries --------------------------------------------------------------
+
+    def phases(self) -> dict:
+        """Instance -> deployment phase (for BMcast nodes)."""
+        return {
+            instance: getattr(instance.platform, "phase", "n/a")
+            for instance in self.instances
+        }
+
+    def all_baremetal(self) -> bool:
+        """True when every BMcast node has fully de-virtualized."""
+        return all(phase in ("baremetal", "n/a")
+                   for phase in self.phases().values())
+
+    def verify_all_deployed(self) -> bool:
+        """Every node's local disk matches the image (modulo its own
+        writes)."""
+        image = self.testbed.image
+        for index, instance in enumerate(self.instances):
+            node = self.testbed.nodes[index]
+            written = instance.guest.written if instance.guest else None
+            if not image.verify_deployed(node.disk.contents, written):
+                return False
+        return True
+
+    def total_startup_seconds(self) -> float:
+        """Latest ready time minus earliest power-on across the group."""
+        if not self.instances:
+            raise ValueError("no instances deployed")
+        start = min(i.timeline.power_on for i in self.instances)
+        ready = max(i.timeline.ready for i in self.instances)
+        return ready - start

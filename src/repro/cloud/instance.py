@@ -1,0 +1,77 @@
+"""The instance abstraction applications run against.
+
+Whatever deployed the machine — BMcast, image copy, network boot, KVM —
+applications see the same facade: block I/O, the platform condition, and
+a startup timeline.  Differences in behaviour (virtio penalties, network
+storage latency, the deploy-phase interference) come from what sits
+behind the facade, not from application-side special cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.machine import Machine
+
+
+@dataclass
+class StartupTimeline:
+    """Time stamps of the startup sequence (Figure 4's stacked bars)."""
+
+    power_on: float = 0.0
+    firmware_done: float = 0.0
+    platform_ready: float = 0.0  # VMM booted / installer done / n.a.
+    os_boot_started: float = 0.0
+    ready: float = 0.0
+    #: Labelled durations making up the bar, in order.
+    segments: list = field(default_factory=list)
+
+    def add_segment(self, label: str, seconds: float) -> None:
+        self.segments.append((label, seconds))
+
+    @property
+    def total(self) -> float:
+        return self.ready - self.power_on
+
+    def total_excluding_firmware(self) -> float:
+        return sum(seconds for label, seconds in self.segments
+                   if "firmware" not in label)
+
+
+class Instance:
+    """A deployed instance: machine + storage facade + timeline."""
+
+    def __init__(self, machine: Machine, method: str,
+                 timeline: StartupTimeline,
+                 storage_read, storage_write,
+                 guest=None, platform=None):
+        self.machine = machine
+        self.method = method
+        self.timeline = timeline
+        self._storage_read = storage_read
+        self._storage_write = storage_write
+        self.guest = guest
+        #: The deploying platform object (BmcastVmm, KvmHypervisor, ...).
+        self.platform = platform
+
+    @property
+    def env(self):
+        return self.machine.env
+
+    @property
+    def condition(self):
+        return self.machine.condition
+
+    # -- storage facade -----------------------------------------------------------
+
+    def read(self, lba: int, sector_count: int):
+        """Generator: read blocks through whatever storage path this
+        deployment method provides."""
+        return (yield from self._storage_read(lba, sector_count))
+
+    def write(self, lba: int, sector_count: int, tag: str = "app"):
+        """Generator: write blocks through the deployment's path."""
+        return (yield from self._storage_write(lba, sector_count, tag))
+
+    def __repr__(self):
+        return f"<Instance {self.method} on {self.machine.name}>"

@@ -1,0 +1,113 @@
+"""Canned testbeds matching the paper's experimental environment.
+
+A :class:`Testbed` wires up one (or more) target machines, the gigabit
+management network, the AoE storage server, and an OS image — the
+PRIMERGY cluster of Section 5 in one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import params
+from repro.aoe.server import AoeServer, ImageStore
+from repro.guest.osimage import OsImage
+from repro.hw.machine import Machine, MachineSpec
+from repro.net.infiniband import IbFabric, IbHca
+from repro.net.link import EthernetSwitch, LossModel
+from repro.net.nic import Nic
+from repro.sim import Environment
+from repro.storage.ahci import AhciController
+from repro.storage.disk import Disk
+from repro.storage.ide import IdeController
+from repro.storage.megaraid import MegaRaidController
+
+
+@dataclass
+class TestbedNode:
+    """One target machine with its devices."""
+
+    machine: Machine
+    disk: Disk
+    controller: object
+    guest_nic: Nic
+    vmm_nic: Nic
+    ib_hca: IbHca | None = None
+
+
+@dataclass
+class Testbed:
+    """The full experimental environment."""
+
+    env: Environment
+    switch: EthernetSwitch
+    image: OsImage
+    store: ImageStore
+    server: AoeServer
+    server_port: str
+    nodes: list[TestbedNode] = field(default_factory=list)
+    ib_fabric: IbFabric | None = None
+
+    @property
+    def node(self) -> TestbedNode:
+        """The first (often only) node."""
+        return self.nodes[0]
+
+
+def build_testbed(node_count: int = 1,
+                  disk_controller: str = "ahci",
+                  image: OsImage | None = None,
+                  mtu: int = params.GBE_MTU,
+                  loss_probability: float = 0.0,
+                  server_workers: int = 8,
+                  server_cache_hit_ratio: float = 0.5,
+                  with_infiniband: bool = False,
+                  has_preemption_timer: bool = True,
+                  env: Environment | None = None) -> Testbed:
+    """Assemble the paper's testbed.
+
+    Defaults follow Section 5: gigabit Ethernet with 9000-byte MTU, a
+    thread-pooled AoE server, AHCI local disks, and a 32-GB image.
+    """
+    env = env or Environment()
+    switch = EthernetSwitch(env, mtu=mtu,
+                            loss=LossModel(loss_probability, seed=97))
+    image = image or OsImage()
+
+    store = ImageStore(env, image.contents, image.total_sectors,
+                       cache_hit_ratio=server_cache_hit_ratio)
+    server_nic = Nic(env, switch, "server", rx_ring_size=8192)
+    server = AoeServer(env, server_nic, store, workers=server_workers)
+    server.start()
+
+    fabric = IbFabric(env) if with_infiniband else None
+
+    testbed = Testbed(env=env, switch=switch, image=image, store=store,
+                      server=server, server_port="server",
+                      ib_fabric=fabric)
+
+    for index in range(node_count):
+        name = f"node{index}"
+        spec = MachineSpec(disk_controller=disk_controller,
+                           has_preemption_timer=has_preemption_timer)
+        machine = Machine(env, spec, name=name)
+        disk = Disk(env)
+        if disk_controller == "ide":
+            controller = IdeController(env, disk, machine)
+        elif disk_controller == "ahci":
+            controller = AhciController(env, disk, machine)
+        elif disk_controller == "megaraid":
+            controller = MegaRaidController(env, disk, machine)
+        else:
+            raise ValueError(
+                f"unknown controller kind {disk_controller!r}")
+        guest_nic = Nic(env, switch, f"{name}-eth0")
+        vmm_nic = Nic(env, switch, f"{name}-eth1", rx_ring_size=8192)
+        machine.attach_nic(guest_nic)
+        machine.attach_nic(vmm_nic)
+        hca = IbHca(env, fabric, machine) if fabric is not None else None
+        testbed.nodes.append(TestbedNode(
+            machine=machine, disk=disk, controller=controller,
+            guest_nic=guest_nic, vmm_nic=vmm_nic, ib_hca=hca))
+
+    return testbed

@@ -1,0 +1,89 @@
+"""Guest OS kernel model: boot sequence and block-layer access.
+
+The guest is **unmodified**: it enumerates PCI, initializes its stock
+IDE/AHCI driver, and boots by replaying the image's access trace through
+that driver.  Whether a mediating VMM sits underneath is invisible to it —
+that is the OS transparency BMcast provides.
+"""
+
+from __future__ import annotations
+
+from repro.guest.driver_ahci import AhciDriver
+from repro.guest.driver_ide import IdeDriver
+from repro.guest.driver_megaraid import MegaRaidDriver
+from repro.guest.osimage import OsImage
+from repro.hw.machine import Machine
+from repro.hw.mmu import PROFILE_COMPILE
+
+
+class GuestOs:
+    """One guest OS instance bound to a machine."""
+
+    def __init__(self, machine: Machine, image: OsImage,
+                 name: str | None = None):
+        self.machine = machine
+        self.image = image
+        self.name = name or image.name
+        self.driver = self._probe_driver()
+        self.booted = False
+        self.boot_started_at: float | None = None
+        self.boot_finished_at: float | None = None
+        #: What this guest wrote to disk (for deployment verification).
+        from repro.util.intervalmap import IntervalMap
+        self.written = IntervalMap()
+        self._write_counter = 0
+
+    def _probe_driver(self):
+        """PCI scan: bind the right block driver to the controller."""
+        controller = self.machine.disk_controller
+        if controller is None:
+            raise RuntimeError("machine has no disk controller")
+        if controller.kind == "ide":
+            return IdeDriver(self.machine)
+        if controller.kind == "ahci":
+            return AhciDriver(self.machine)
+        if controller.kind == "megaraid":
+            return MegaRaidDriver(self.machine)
+        raise TypeError(f"no driver for controller {controller.kind!r}")
+
+    # -- boot ---------------------------------------------------------------------
+
+    def boot(self):
+        """Generator: run the boot sequence; returns boot seconds."""
+        env = self.machine.env
+        self.boot_started_at = env.now
+        if self.machine.disk_controller.kind == "ahci":
+            yield from self.driver.start()
+        for step in self.image.boot_trace():
+            think = step.think_seconds * self._cpu_slowdown()
+            yield env.timeout(think)
+            for lba, sector_count in step.reads:
+                yield from self.driver.read(lba, sector_count)
+        self.booted = True
+        self.boot_finished_at = env.now
+        return self.boot_finished_at - self.boot_started_at
+
+    def _cpu_slowdown(self) -> float:
+        condition = self.machine.condition
+        return condition.cpu_slowdown(PROFILE_COMPILE.tlb_stall_fraction)
+
+    @property
+    def boot_seconds(self) -> float | None:
+        if self.boot_started_at is None or self.boot_finished_at is None:
+            return None
+        return self.boot_finished_at - self.boot_started_at
+
+    # -- application-visible block I/O -----------------------------------------------
+
+    def read(self, lba: int, sector_count: int):
+        """Generator: read through the stock driver."""
+        return (yield from self.driver.read(lba, sector_count))
+
+    def write(self, lba: int, sector_count: int, tag: str = "guest"):
+        """Generator: write through the stock driver, tracking the range
+        for end-of-deployment verification."""
+        self._write_counter += 1
+        token = (self.name, tag, self._write_counter)
+        result = yield from self.driver.write(lba, sector_count, token)
+        self.written.set_range(lba, sector_count, True)
+        return result

@@ -1,0 +1,36 @@
+"""Hardware substrate: machines, CPUs, memory, buses, firmware."""
+
+from repro.hw.cpu import Cpu, CpuError, ExitReason, VmxMode
+from repro.hw.firmware import Firmware
+from repro.hw.interrupts import InterruptController
+from repro.hw.iobus import BusError, IoAccess, IoBus
+from repro.hw.machine import Machine, MachineSpec
+from repro.hw.memory import E820Region, MemoryMapError, PhysicalMemory
+from repro.hw.mmu import MemoryProfile, MmuFault, NestedPageTable, TrapRange
+from repro.hw.pci import PciBus, PciDevice
+from repro.hw.platform import BAREMETAL, PlatformCondition
+
+__all__ = [
+    "BAREMETAL",
+    "BusError",
+    "Cpu",
+    "CpuError",
+    "E820Region",
+    "ExitReason",
+    "Firmware",
+    "InterruptController",
+    "IoAccess",
+    "IoBus",
+    "Machine",
+    "MachineSpec",
+    "MemoryMapError",
+    "MemoryProfile",
+    "MmuFault",
+    "NestedPageTable",
+    "PciBus",
+    "PciDevice",
+    "PhysicalMemory",
+    "PlatformCondition",
+    "TrapRange",
+    "VmxMode",
+]

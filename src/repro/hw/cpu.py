@@ -1,0 +1,187 @@
+"""CPU model: VMX modes, VM exits, and the preemption timer.
+
+The simulation does not execute instructions; what matters for the paper's
+evaluation is *which events cause VM exits*, what each exit costs, and how
+the VMM gets scheduled (preemption timer vs soft timers).  Those are
+modelled explicitly here.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+
+from repro import params
+from repro.hw.mmu import NestedPageTable
+from repro.sim import Environment, Interrupt
+
+
+class VmxMode(enum.Enum):
+    """Hardware virtualization mode of one CPU."""
+
+    OFF = "off"          # VMX disabled (bare metal / after VMXOFF)
+    ROOT = "root"        # VMM context
+    NON_ROOT = "non-root"  # guest context under the VMM
+
+
+class ExitReason(enum.Enum):
+    """VM-exit reasons the BMcast VMM enables (paper 4.1)."""
+
+    PIO = "pio"
+    MMIO = "mmio"
+    CPUID = "cpuid"
+    CR_ACCESS = "cr-access"
+    INIT_SIGNAL = "init-signal"
+    STARTUP_IPI = "startup-ipi"
+    PREEMPTION_TIMER = "preemption-timer"
+    EXTERNAL_INTERRUPT = "external-interrupt"  # soft-timer fallback only
+
+
+class CpuError(Exception):
+    """Invalid CPU mode transition."""
+
+
+class Cpu:
+    """One physical CPU core.
+
+    Tracks VMX mode, owns its nested page table, counts and charges VM
+    exits, and (core 0 only, by convention) runs the preemption timer that
+    schedules the VMM's polling threads.
+    """
+
+    def __init__(self, env: Environment, index: int,
+                 has_preemption_timer: bool = True):
+        self.env = env
+        self.index = index
+        self.has_preemption_timer = has_preemption_timer
+        self.mode = VmxMode.OFF
+        self.npt = NestedPageTable()
+        self.exit_counts: Counter = Counter()
+        #: Total simulated seconds spent in VM exits on this CPU.
+        self.exit_seconds = 0.0
+        self._timer_process = None
+
+    def __repr__(self):
+        return f"<Cpu {self.index} {self.mode.value}>"
+
+    # -- mode transitions ---------------------------------------------------
+
+    def vmxon(self) -> None:
+        """Enter VMX root mode (VMM boots)."""
+        if self.mode is not VmxMode.OFF:
+            raise CpuError(f"vmxon in mode {self.mode}")
+        self.mode = VmxMode.ROOT
+
+    def vmenter(self) -> None:
+        """Switch to guest context."""
+        if self.mode is not VmxMode.ROOT:
+            raise CpuError(f"vmenter in mode {self.mode}")
+        self.mode = VmxMode.NON_ROOT
+
+    def vmexit(self, reason: ExitReason,
+               cost: float = params.VM_EXIT_SECONDS) -> float:
+        """Record a VM exit; returns the time the transition costs.
+
+        The caller (typically the I/O bus or the timer) is responsible for
+        actually advancing simulated time by the returned amount, because
+        only a process can yield.
+        """
+        if self.mode is not VmxMode.NON_ROOT:
+            raise CpuError(f"vmexit in mode {self.mode}")
+        self.mode = VmxMode.ROOT
+        self.exit_counts[reason] += 1
+        self.exit_seconds += cost
+        return cost
+
+    def vmresume(self) -> None:
+        """Return to guest context after handling an exit."""
+        if self.mode is not VmxMode.ROOT:
+            raise CpuError(f"vmresume in mode {self.mode}")
+        self.mode = VmxMode.NON_ROOT
+
+    def vmxoff(self) -> None:
+        """Turn VMX off entirely (final de-virtualization step).
+
+        Valid from either root mode (normal path: the VMM exits first) or
+        non-root (the guest-context trampoline described in paper 4.3).
+        """
+        if self.mode is VmxMode.OFF:
+            raise CpuError("vmxoff with VMX already off")
+        if self._timer_process is not None:
+            self.cancel_preemption_timer()
+        self.mode = VmxMode.OFF
+
+    # -- exit statistics -----------------------------------------------------
+
+    @property
+    def total_exits(self) -> int:
+        return sum(self.exit_counts.values())
+
+    def exit_rate(self, elapsed: float) -> float:
+        """Average exits/second over ``elapsed`` seconds."""
+        return self.total_exits / elapsed if elapsed > 0 else 0.0
+
+    # -- preemption timer -----------------------------------------------------
+
+    def arm_preemption_timer(self, interval: float, callback,
+                             jitter: float = 0.0):
+        """Fire ``callback`` every ``interval`` seconds of guest time.
+
+        ``callback`` must be a function returning a generator (the VMM's
+        polling work); each firing costs one VM exit.  If this CPU lacks
+        the preemption timer, the caller should use
+        :meth:`arm_soft_timer` instead (paper 4.1's fallback).
+        """
+        if not self.has_preemption_timer:
+            raise CpuError("preemption timer not available on this CPU")
+        if self._timer_process is not None:
+            raise CpuError("preemption timer already armed")
+        self._timer_process = self.env.process(
+            self._timer_loop(interval, callback, ExitReason.PREEMPTION_TIMER,
+                             jitter),
+            name=f"cpu{self.index}-preempt-timer")
+        return self._timer_process
+
+    def arm_soft_timer(self, interval: float, callback,
+                       jitter: float | None = None):
+        """Soft-timer fallback: coarser interval, piggybacks on interrupts.
+
+        Models the paper's fallback for CPUs without the VMX preemption
+        timer: VM exits on hardware interrupts are used to regain control,
+        so the effective polling granularity is the (coarser, jittery)
+        interrupt cadence.
+        """
+        if self._timer_process is not None:
+            raise CpuError("timer already armed")
+        if jitter is None:
+            jitter = interval * 0.5
+        self._timer_process = self.env.process(
+            self._timer_loop(interval, callback,
+                             ExitReason.EXTERNAL_INTERRUPT, jitter),
+            name=f"cpu{self.index}-soft-timer")
+        return self._timer_process
+
+    def cancel_preemption_timer(self) -> None:
+        if self._timer_process is not None and self._timer_process.is_alive:
+            self._timer_process.interrupt("disarm")
+        self._timer_process = None
+
+    def _timer_loop(self, interval: float, callback, reason: ExitReason,
+                    jitter: float):
+        # Deterministic triangle-wave jitter avoids needing an RNG here
+        # while still de-synchronizing soft-timer firings.
+        phase = 0
+        try:
+            while True:
+                delay = interval
+                if jitter:
+                    phase = (phase + 1) % 8
+                    delay += jitter * (phase - 3.5) / 3.5
+                yield self.env.timeout(max(delay, 1e-9))
+                if self.mode is VmxMode.NON_ROOT:
+                    cost = self.vmexit(reason)
+                    yield self.env.timeout(cost)
+                    yield from callback()
+                    self.vmresume()
+        except Interrupt:
+            return

@@ -1,0 +1,50 @@
+"""Firmware (BIOS) model: slow server-board initialization and boot source.
+
+The paper's startup-time numbers are dominated by firmware on reboots
+(133 s on their server board), which is exactly why BMcast's avoid-the-
+reboot design wins: image copying pays firmware *twice*.
+"""
+
+from __future__ import annotations
+
+from repro import params
+from repro.sim import Environment
+
+
+class Firmware:
+    """BIOS with measurable initialization time and PXE network boot."""
+
+    def __init__(self, env: Environment,
+                 init_seconds: float = params.FIRMWARE_INIT_SECONDS,
+                 pxe_load_seconds: float = 2.0):
+        self.env = env
+        self.init_seconds = init_seconds
+        self.pxe_load_seconds = pxe_load_seconds
+        self.initialized = False
+        #: Number of full firmware initializations performed (reboots).
+        self.init_count = 0
+
+    def power_on(self):
+        """Generator: full power-on self test and device init."""
+        yield self.env.timeout(self.init_seconds)
+        self.initialized = True
+        self.init_count += 1
+
+    def reboot(self):
+        """Generator: warm reboot — firmware runs again in full.
+
+        Server boards re-run the whole initialization; this is the
+        several-minute penalty the image-copy baseline pays.
+        """
+        self.initialized = False
+        yield from self.power_on()
+
+    def network_boot(self):
+        """Generator: PXE-load a small payload (VMM or installer kernel).
+
+        Returns after the payload is in memory; the payload's own startup
+        time is charged by whoever boots it.
+        """
+        if not self.initialized:
+            raise RuntimeError("network_boot before firmware initialization")
+        yield self.env.timeout(self.pxe_load_seconds)

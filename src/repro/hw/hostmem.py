@@ -1,0 +1,60 @@
+"""Host-memory object registry for DMA descriptors and buffers.
+
+Guest drivers place DMA buffers, PRD tables, and AHCI command structures
+"in memory" and hand devices their physical addresses.  The simulation
+models that memory as an address-to-object registry: devices (and the VMM,
+which reads guest structures during I/O interpretation) look objects up by
+address exactly as hardware would follow a pointer.
+"""
+
+from __future__ import annotations
+
+
+class HostMemoryError(Exception):
+    """Bad address or double allocation."""
+
+
+class HostMemory:
+    """Address-keyed registry of in-memory structures."""
+
+    #: Where dynamically allocated objects start (clear of MMIO ranges).
+    ALLOC_BASE = 0x1000_0000
+
+    def __init__(self):
+        self._objects: dict[int, object] = {}
+        self._next = self.ALLOC_BASE
+
+    def allocate(self, obj, address: int | None = None) -> int:
+        """Place ``obj`` in memory; returns its physical address."""
+        if address is None:
+            address = self._next
+            self._next += 0x1000
+        if address in self._objects:
+            raise HostMemoryError(f"address {address:#x} already in use")
+        self._objects[address] = obj
+        return address
+
+    def lookup(self, address: int):
+        """Dereference a physical address."""
+        try:
+            return self._objects[address]
+        except KeyError:
+            raise HostMemoryError(
+                f"dangling DMA pointer {address:#x}") from None
+
+    def replace(self, address: int, obj) -> object:
+        """Swap the object at ``address``; returns the old one."""
+        old = self.lookup(address)
+        self._objects[address] = obj
+        return old
+
+    def free(self, address: int) -> None:
+        if address not in self._objects:
+            raise HostMemoryError(f"freeing unmapped address {address:#x}")
+        del self._objects[address]
+
+    def __contains__(self, address: int) -> bool:
+        return address in self._objects
+
+    def __len__(self) -> int:
+        return len(self._objects)

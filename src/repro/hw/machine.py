@@ -1,0 +1,128 @@
+"""The physical machine: CPUs, memory, buses, firmware, devices.
+
+A :class:`Machine` is the unit the cloud leases.  Device models (disk
+controllers, NICs, the InfiniBand HCA) are built by their own subsystems
+and attached here; the machine provides the shared fabric: the I/O bus,
+interrupt controller, PCI bus, memory map, and the published
+:class:`~repro.hw.platform.PlatformCondition` that workload models read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import params
+from repro.hw.cpu import Cpu
+from repro.hw.firmware import Firmware
+from repro.hw.hostmem import HostMemory
+from repro.hw.interrupts import InterruptController
+from repro.hw.iobus import IoBus
+from repro.hw.memory import PhysicalMemory
+from repro.hw.pci import PciBus
+from repro.hw.platform import BAREMETAL, PlatformCondition
+from repro.sim import Environment
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Static configuration of a machine (paper 5: PRIMERGY RX200 S6)."""
+
+    cores: int = params.CPU_CORES
+    memory_bytes: int = params.MEMORY_BYTES
+    firmware_init_seconds: float = params.FIRMWARE_INIT_SECONDS
+    has_preemption_timer: bool = True
+    #: Disk controller flavour the scenario will attach: "ahci" or "ide".
+    disk_controller: str = "ahci"
+    nic_count: int = 2
+    has_infiniband: bool = True
+
+
+@dataclass
+class _ConditionLog:
+    """Time-stamped history of platform-condition changes."""
+
+    entries: list = field(default_factory=list)
+
+    def record(self, time: float, condition: PlatformCondition) -> None:
+        self.entries.append((time, condition))
+
+    def at(self, time: float) -> PlatformCondition:
+        current = self.entries[0][1]
+        for stamp, condition in self.entries:
+            if stamp <= time:
+                current = condition
+            else:
+                break
+        return current
+
+
+class Machine:
+    """One bare-metal machine in the simulated cluster."""
+
+    def __init__(self, env: Environment, spec: MachineSpec | None = None,
+                 name: str = "node0"):
+        self.env = env
+        self.spec = spec or MachineSpec()
+        self.name = name
+
+        self.cpus = [
+            Cpu(env, index,
+                has_preemption_timer=self.spec.has_preemption_timer)
+            for index in range(self.spec.cores)
+        ]
+        self.memory = PhysicalMemory(self.spec.memory_bytes)
+        self.interrupts = InterruptController(env)
+        self.bus = IoBus(env)
+        self.hostmem = HostMemory()
+        self.pci = PciBus()
+        self.firmware = Firmware(
+            env, init_seconds=self.spec.firmware_init_seconds)
+
+        # Attached device models (populated by the scenario builder).
+        self.disk_controller = None
+        self.nics: list = []
+        self.infiniband = None
+
+        self._condition = BAREMETAL
+        self.condition_log = _ConditionLog()
+        self.condition_log.record(env.now, BAREMETAL)
+
+    def __repr__(self):
+        return f"<Machine {self.name} cores={self.spec.cores}>"
+
+    # -- platform condition -------------------------------------------------
+
+    @property
+    def condition(self) -> PlatformCondition:
+        """The overhead condition currently in force."""
+        return self._condition
+
+    def set_condition(self, condition: PlatformCondition) -> None:
+        self._condition = condition
+        self.condition_log.record(self.env.now, condition)
+
+    # -- device attachment ----------------------------------------------------
+
+    def attach_disk_controller(self, controller) -> None:
+        if self.disk_controller is not None:
+            raise RuntimeError("disk controller already attached")
+        self.disk_controller = controller
+
+    def attach_nic(self, nic) -> None:
+        self.nics.append(nic)
+
+    def attach_infiniband(self, hca) -> None:
+        self.infiniband = hca
+
+    # -- convenience ------------------------------------------------------------
+
+    @property
+    def boot_cpu(self) -> Cpu:
+        return self.cpus[0]
+
+    def total_vm_exits(self) -> int:
+        return sum(cpu.total_exits for cpu in self.cpus)
+
+    def power_on(self):
+        """Generator: run firmware initialization."""
+        yield from self.firmware.power_on()

@@ -1,0 +1,134 @@
+"""Physical memory map: E820 regions and VMM reservation.
+
+BMcast reserves its own memory by manipulating the BIOS memory map (paper
+3.4) so the guest never allocates it, and additionally protects the region
+with nested paging while virtualization is on.  This module models the map
+itself; enforcement lives in :mod:`repro.hw.mmu`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import params
+
+
+class MemoryMapError(Exception):
+    """Raised on invalid memory-map manipulation."""
+
+
+@dataclass(frozen=True)
+class E820Region:
+    """One region of the BIOS-reported physical memory map."""
+
+    start: int
+    length: int
+    kind: str  # "usable" | "reserved"
+
+    @property
+    def end(self) -> int:
+        return self.start + self.length
+
+    def overlaps(self, other: "E820Region") -> bool:
+        return self.start < other.end and other.start < self.end
+
+
+class PhysicalMemory:
+    """Physical memory with a BIOS (E820-style) map.
+
+    The map starts as a single usable region.  :meth:`reserve` carves a
+    reserved hole out of it — this is the BIOS-map manipulation the VMM
+    performs so the guest OS never touches VMM memory.
+    """
+
+    def __init__(self, size_bytes: int = params.MEMORY_BYTES):
+        if size_bytes <= 0:
+            raise ValueError("memory size must be positive")
+        self.size_bytes = size_bytes
+        self._regions: list[E820Region] = [
+            E820Region(0, size_bytes, "usable")
+        ]
+
+    @property
+    def regions(self) -> tuple[E820Region, ...]:
+        return tuple(self._regions)
+
+    @property
+    def usable_bytes(self) -> int:
+        return sum(r.length for r in self._regions if r.kind == "usable")
+
+    @property
+    def reserved_bytes(self) -> int:
+        return sum(r.length for r in self._regions if r.kind == "reserved")
+
+    def reserve(self, start: int, length: int) -> E820Region:
+        """Mark ``[start, start+length)`` reserved; must lie in usable space."""
+        if length <= 0:
+            raise MemoryMapError("reservation length must be positive")
+        if start < 0 or start + length > self.size_bytes:
+            raise MemoryMapError("reservation outside physical memory")
+
+        hole = E820Region(start, length, "reserved")
+        new_regions: list[E820Region] = []
+        carved = False
+        for region in self._regions:
+            if not region.overlaps(hole):
+                new_regions.append(region)
+                continue
+            if region.kind != "usable":
+                raise MemoryMapError(
+                    f"reservation overlaps non-usable region {region}"
+                )
+            if not (region.start <= hole.start
+                    and hole.end <= region.end):
+                raise MemoryMapError(
+                    "reservation spans multiple regions"
+                )
+            carved = True
+            if region.start < hole.start:
+                new_regions.append(
+                    E820Region(region.start, hole.start - region.start,
+                               "usable"))
+            new_regions.append(hole)
+            if hole.end < region.end:
+                new_regions.append(
+                    E820Region(hole.end, region.end - hole.end, "usable"))
+        if not carved:
+            raise MemoryMapError("reservation not within any usable region")
+        self._regions = sorted(new_regions, key=lambda r: r.start)
+        return hole
+
+    def release(self, region: E820Region) -> None:
+        """Return a previously reserved region to usable (memory hot-add).
+
+        The paper's prototype does *not* do this (limitation in 4.3); it is
+        provided for the memory-hot-plug extension and ablations.
+        """
+        if region not in self._regions:
+            raise MemoryMapError(f"{region} is not a current map entry")
+        if region.kind != "reserved":
+            raise MemoryMapError(f"{region} is not reserved")
+        index = self._regions.index(region)
+        self._regions[index] = E820Region(region.start, region.length,
+                                          "usable")
+        self._coalesce()
+
+    def kind_at(self, address: int) -> str:
+        """The region kind covering ``address``."""
+        for region in self._regions:
+            if region.start <= address < region.end:
+                return region.kind
+        raise MemoryMapError(f"address {address:#x} outside physical memory")
+
+    def _coalesce(self) -> None:
+        merged: list[E820Region] = []
+        for region in self._regions:
+            if (merged and merged[-1].kind == region.kind
+                    and merged[-1].end == region.start):
+                last = merged.pop()
+                merged.append(
+                    E820Region(last.start, last.length + region.length,
+                               region.kind))
+            else:
+                merged.append(region)
+        self._regions = merged

@@ -1,0 +1,79 @@
+"""Minimal PCI model: enumeration, BARs, and configuration-space hiding.
+
+Needed for two things from the paper: the guest enumerates devices at boot
+(the mediated disk controller and NICs appear exactly as physical devices,
+which is what makes deployment OS-transparent), and Section 4.3's option of
+*hiding* the management NIC's configuration space when it must not be
+exposed to the guest after de-virtualization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+#: Value a read of a non-existent device's vendor ID returns.
+INVALID_VENDOR = 0xFFFF
+
+
+@dataclass
+class PciDevice:
+    """One PCI function's identity and BARs."""
+
+    vendor_id: int
+    device_id: int
+    class_code: int
+    name: str
+    #: BARs: index -> (base address, length). MMIO only.
+    bars: dict[int, tuple[int, int]] = field(default_factory=dict)
+    #: The device model behind this function (controller/NIC object).
+    model: object = None
+
+
+class PciBus:
+    """Flat single-bus PCI topology with per-slot hiding."""
+
+    def __init__(self):
+        self._slots: dict[int, PciDevice] = {}
+        self._hidden: set[int] = set()
+
+    def attach(self, slot: int, device: PciDevice) -> None:
+        if slot in self._slots:
+            raise ValueError(f"PCI slot {slot} already occupied")
+        self._slots[slot] = device
+
+    def hide(self, slot: int) -> None:
+        """Make config reads of ``slot`` return 'no device'.
+
+        This is the paper's mechanism for keeping a management NIC on a
+        private network invisible to the guest.
+        """
+        if slot not in self._slots:
+            raise ValueError(f"no device in PCI slot {slot}")
+        self._hidden.add(slot)
+
+    def unhide(self, slot: int) -> None:
+        self._hidden.discard(slot)
+
+    def is_hidden(self, slot: int) -> bool:
+        return slot in self._hidden
+
+    def read_vendor_id(self, slot: int) -> int:
+        if slot in self._hidden or slot not in self._slots:
+            return INVALID_VENDOR
+        return self._slots[slot].vendor_id
+
+    def device_at(self, slot: int) -> PciDevice | None:
+        """The device visible at ``slot`` (None if hidden or empty)."""
+        if slot in self._hidden:
+            return None
+        return self._slots.get(slot)
+
+    def enumerate(self) -> list[tuple[int, PciDevice]]:
+        """(slot, device) pairs a guest's PCI scan discovers."""
+        return [(slot, device) for slot, device in sorted(self._slots.items())
+                if slot not in self._hidden]
+
+    def all_slots(self) -> list[tuple[int, PciDevice]]:
+        """Every attached device, hidden or not (provider's view)."""
+        return sorted(self._slots.items())

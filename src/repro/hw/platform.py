@@ -1,0 +1,111 @@
+"""Platform condition: what the running virtualization layer costs.
+
+Whichever platform currently controls the machine (bare metal, BMcast in
+some phase, or the KVM baseline) publishes a :class:`PlatformCondition`
+describing the overhead mechanisms active *right now*.  Application models
+read it each sampling window, which is how Figure 5's performance-over-time
+traces see the de-virtualization step change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro import params
+
+
+@dataclass(frozen=True)
+class PlatformCondition:
+    """Overhead mechanisms in force on a machine at a point in time.
+
+    Everything defaults to the bare-metal (cost-free) setting.
+    """
+
+    #: Human-readable platform tag ("baremetal", "bmcast-deploy", ...).
+    label: str = "baremetal"
+    #: Nested paging (EPT) active -> TLB pollution per MemoryProfile.
+    nested_paging: bool = False
+    #: Multipliers applied to a workload's TLB stall time when
+    #: nested_paging is set.
+    tlb_miss_multiplier: float = params.EPT_TLB_MISS_MULTIPLIER
+    tlb_walk_multiplier: float = params.EPT_TLB_WALK_MULTIPLIER
+    #: Fraction of machine CPU consumed by VMM threads (deploy copying).
+    vmm_cpu_fraction: float = 0.0
+    #: How much of that VMM CPU time actually contends with the workload
+    #: (< 1 when idle cores absorb the polling threads).
+    vmm_cpu_contention: float = 1.0
+    #: Uniform CPU-bound slowdown (conventional VMM exit/cache costs).
+    cpu_overhead: float = 0.0
+    #: Memory-bandwidth overhead (nested paging walks + cache pollution).
+    memory_overhead: float = 0.0
+    #: Lock-holder preemption active (virtual CPUs can be descheduled
+    #: while holding locks).  Cost grows with thread count.
+    lock_holder_preemption: bool = False
+    #: Peak LHP overhead when threads = 2x physical cores.
+    lhp_peak_overhead: float = params.KVM_LHP_OVERHEAD_AT_2X_THREADS
+    #: Multiplicative latency factor on RDMA/InfiniBand operations.
+    ib_latency_factor: float = 1.0
+    #: Additive software cost per InfiniBand message (seconds): interrupt
+    #: and completion-path handling a VMM adds around the HCA.
+    ib_sw_overhead: float = 0.0
+    #: Extra CPU fraction per network operation (virtio/emulated NIC
+    #: request processing) paid by network-service workloads.
+    net_op_overhead: float = 0.0
+    #: Storage throughput penalties from virtual I/O devices (virtio).
+    storage_read_overhead: float = 0.0
+    storage_write_overhead: float = 0.0
+
+    def with_(self, **changes) -> "PlatformCondition":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    # -- derived costs ---------------------------------------------------------
+
+    def cpu_slowdown(self, tlb_stall_fraction: float = 0.0) -> float:
+        """Execution-time factor for a CPU/memory-bound workload."""
+        factor = 1.0 + self.cpu_overhead
+        if self.nested_paging and tlb_stall_fraction > 0:
+            stall = tlb_stall_fraction
+            factor *= ((1.0 - stall)
+                       + stall * self.tlb_miss_multiplier
+                       * self.tlb_walk_multiplier)
+        if self.vmm_cpu_fraction > 0:
+            contending = self.vmm_cpu_fraction * self.vmm_cpu_contention
+            factor /= (1.0 - contending)
+        return factor
+
+    def lhp_slowdown(self, threads: int, cores: int) -> float:
+        """Extra factor from lock-holder preemption at ``threads``.
+
+        Empirically (paper Fig. 8 and [47]) the cost is negligible until
+        threads approach the core count, then grows roughly linearly with
+        oversubscription pressure.
+        """
+        if not self.lock_holder_preemption or threads <= 1:
+            return 1.0
+        pressure = threads / cores
+        if pressure <= 0.5:
+            return 1.0 + 0.02 * pressure
+        # Linear ramp hitting lhp_peak_overhead at pressure == 2.0.
+        ramp = (pressure - 0.5) / 1.5
+        return 1.0 + min(ramp, 1.0) * self.lhp_peak_overhead + 0.01
+
+    def memory_slowdown(self, block_kb: float,
+                        tlb_stall_fraction: float = 0.0) -> float:
+        """Factor for a streaming memory workload at ``block_kb`` blocks.
+
+        Larger blocks stream more data per allocation and are hit harder
+        by nested-paging walks and cache pollution (paper Fig. 9 shows KVM's
+        overhead peaking at 16-KB blocks).
+        """
+        base = self.cpu_slowdown(tlb_stall_fraction)
+        if self.memory_overhead <= 0:
+            return base
+        # Scale the configured peak overhead by block size: 1 KB -> 40%
+        # of peak, 16 KB -> 100% of peak.
+        scale = min(1.0, 0.4 + 0.6 * (block_kb - 1.0) / 15.0)
+        return base * (1.0 + self.memory_overhead * max(scale, 0.4))
+
+
+#: The cost-free bare-metal condition.
+BAREMETAL = PlatformCondition()

@@ -1,0 +1,94 @@
+"""Structured event tracing for deployments.
+
+Production systems ship with observability; so does this one.  An
+:class:`EventLog` is a bounded, timestamped, categorized record of what
+the VMM did — redirects, multiplexed writes, queue/replay activity,
+phase transitions, de-virtualization steps.  It is opt-in
+(``BmcastVmm(trace=True)`` or ``python -m repro deploy --trace``) and
+costs nothing when disabled.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced event."""
+
+    time: float
+    category: str
+    message: str
+    fields: tuple = ()
+
+    def render(self) -> str:
+        extra = " ".join(f"{key}={value}" for key, value in self.fields)
+        return f"[{self.time:12.6f}] {self.category:<12} " \
+               f"{self.message}" + (f"  ({extra})" if extra else "")
+
+
+class EventLog:
+    """Bounded trace buffer with per-category counters."""
+
+    def __init__(self, env, capacity: int = 10_000,
+                 enabled: bool = True):
+        self.env = env
+        self.enabled = enabled
+        self.records: deque = deque(maxlen=capacity)
+        self.counts: Counter = Counter()
+
+    def log(self, category: str, message: str, **fields) -> None:
+        if not self.enabled:
+            return
+        self.counts[category] += 1
+        self.records.append(TraceRecord(
+            self.env.now, category, message,
+            tuple(sorted(fields.items()))))
+
+    # -- reading ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def tail(self, limit: int = 50) -> list:
+        return list(self.records)[-limit:]
+
+    def by_category(self, category: str) -> list:
+        return [record for record in self.records
+                if record.category == category]
+
+    def dump(self, limit: int = 50) -> str:
+        lines = [record.render() for record in self.tail(limit)]
+        summary = ", ".join(f"{category}: {count}"
+                            for category, count
+                            in sorted(self.counts.items()))
+        return "\n".join(lines + [f"-- totals: {summary}"])
+
+
+class NullEventLog:
+    """Disabled tracer: every operation is a no-op."""
+
+    enabled = False
+    records: tuple = ()
+    counts: Counter = Counter()
+
+    def log(self, category: str, message: str, **fields) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+    def tail(self, limit: int = 50) -> list:
+        return []
+
+    def by_category(self, category: str) -> list:
+        return []
+
+    def dump(self, limit: int = 50) -> str:
+        return "(tracing disabled)"
+
+
+#: Shared disabled instance.
+NULL_LOG = NullEventLog()

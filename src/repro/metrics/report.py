@@ -1,0 +1,59 @@
+"""Plain-text result tables, matching how the benches print figures."""
+
+from __future__ import annotations
+
+
+def format_table(headers: list, rows: list, title: str = "") -> str:
+    """Monospace table with right-aligned numeric columns."""
+    columns = len(headers)
+    rendered_rows = []
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError("row width does not match headers")
+        rendered_rows.append([_render(cell) for cell in row])
+    widths = [
+        max(len(str(headers[index])),
+            *(len(row[index]) for row in rendered_rows)) if rendered_rows
+        else len(str(headers[index]))
+        for index in range(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(
+        str(header).ljust(widths[index])
+        for index, header in enumerate(headers)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(
+            cell.rjust(widths[index]) if _is_numeric(cell)
+            else cell.ljust(widths[index])
+            for index, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _render(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 100:
+            return f"{cell:.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:.2f}"
+        return f"{cell:.4f}"
+    return str(cell)
+
+
+def _is_numeric(cell: str) -> bool:
+    try:
+        float(cell)
+        return True
+    except ValueError:
+        return False
+
+
+def format_ratio(value: float, baseline: float) -> str:
+    """'0.948x' style ratio string."""
+    if baseline == 0:
+        return "n/a"
+    return f"{value / baseline:.3f}x"

@@ -1,0 +1,55 @@
+"""Time-series collection for the performance-over-time figures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TimeSeries:
+    """Samples of one metric over simulated time."""
+
+    name: str
+    unit: str = ""
+    samples: list = field(default_factory=list)  # (time, value)
+
+    def record(self, time: float, value: float) -> None:
+        self.samples.append((time, value))
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def values(self) -> list:
+        return [value for _, value in self.samples]
+
+    def times(self) -> list:
+        return [time for time, _ in self.samples]
+
+    def mean(self) -> float:
+        values = self.values()
+        if not values:
+            raise ValueError(f"no samples in series {self.name!r}")
+        return sum(values) / len(values)
+
+    def min(self) -> float:
+        return min(self.values())
+
+    def max(self) -> float:
+        return max(self.values())
+
+    def mean_between(self, start: float, end: float) -> float:
+        window = [value for time, value in self.samples
+                  if start <= time < end]
+        if not window:
+            raise ValueError(
+                f"no samples in [{start}, {end}) of {self.name!r}")
+        return sum(window) / len(window)
+
+    def normalized_to(self, baseline: float) -> "TimeSeries":
+        """A copy expressed as a ratio to ``baseline``."""
+        if baseline == 0:
+            raise ValueError("baseline must be non-zero")
+        ratio = TimeSeries(f"{self.name} (ratio)", unit="x")
+        ratio.samples = [(time, value / baseline)
+                         for time, value in self.samples]
+        return ratio

@@ -1,0 +1,17 @@
+"""Network substrate: Ethernet switch/NICs and InfiniBand fabric."""
+
+from repro.net.e1000 import E1000Nic
+from repro.net.infiniband import IbFabric, IbHca
+from repro.net.link import EthernetSwitch, LossModel
+from repro.net.nic import Nic
+from repro.net.packet import Frame
+
+__all__ = [
+    "E1000Nic",
+    "EthernetSwitch",
+    "Frame",
+    "IbFabric",
+    "IbHca",
+    "LossModel",
+    "Nic",
+]

@@ -1,0 +1,213 @@
+"""Ring-buffer NIC model (Intel PRO/1000 style).
+
+Unlike the simple :class:`~repro.net.nic.Nic` (which the VMM's dedicated
+management port uses), this model exposes the descriptor-ring register
+interface a real driver programs — receive/transmit ring base, head and
+tail pointers, and read-to-clear interrupt cause — which is exactly the
+surface the shared-NIC device mediator of paper Section 6 shadows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.link import EthernetSwitch
+from repro.net.packet import Frame
+from repro.sim import Environment
+
+#: Register offsets (subset of the 8254x layout).
+REG_CTRL = 0x0000
+REG_ICR = 0x00C0    # interrupt cause, read-to-clear
+REG_IMS = 0x00D0    # interrupt mask set
+REG_RDBA = 0x2800   # receive descriptor base address
+REG_RDLEN = 0x2808
+REG_RDH = 0x2810    # receive head (device-owned)
+REG_RDT = 0x2818    # receive tail (driver-owned)
+REG_TDBA = 0x3800   # transmit descriptor base address
+REG_TDLEN = 0x3808
+REG_TDH = 0x3810
+REG_TDT = 0x3818
+
+#: ICR bits.
+ICR_TXDW = 0x01     # transmit descriptor written back
+ICR_RXT0 = 0x80     # receiver timer (frame received)
+
+#: MMIO window size per NIC.
+E1000_MMIO_SIZE = 0x4000
+
+#: Default descriptor ring size.
+RING_SIZE = 64
+
+
+@dataclass
+class TxDescriptor:
+    """One transmit descriptor: points at an outgoing frame payload."""
+
+    buffer_address: int = 0
+    length: int = 0
+    dd: bool = False  # descriptor done
+
+
+@dataclass
+class RxDescriptor:
+    """One receive descriptor: a buffer the device may fill."""
+
+    buffer_address: int = 0
+    length: int = 0
+    dd: bool = False
+    frame: Frame | None = None
+
+
+@dataclass
+class TxPayload:
+    """What a TX descriptor's buffer holds."""
+
+    dst: str
+    payload: object
+    payload_bytes: int
+    protocol: str = "guest"
+
+
+def make_ring(kind, size: int = RING_SIZE) -> list:
+    return [kind() for _ in range(size)]
+
+
+class E1000Nic:
+    """Descriptor-ring NIC attached to a switch port."""
+
+    def __init__(self, env: Environment, switch: EthernetSwitch,
+                 name: str, machine, mmio_base: int,
+                 irq_line: int = 19):
+        self.env = env
+        self.switch = switch
+        self.name = name
+        self.machine = machine
+        self.mmio_base = mmio_base
+        self.irq_line = irq_line
+        switch.attach(name, self)
+
+        # Register file.
+        self.ctrl = 0
+        self.icr = 0
+        self.ims = 0
+        self.rdba = 0
+        self.rdlen = 0
+        self.rdh = 0
+        self.rdt = 0
+        self.tdba = 0
+        self.tdlen = 0
+        self.tdh = 0
+        self.tdt = 0
+
+        self._tx_process = None
+
+        # Metrics.
+        self.tx_frames = 0
+        self.rx_frames = 0
+        self.rx_dropped = 0
+        self.interrupts_raised = 0
+
+        machine.bus.register_mmio(mmio_base, E1000_MMIO_SIZE, self)
+
+    # -- register interface ------------------------------------------------------
+
+    def mmio_read(self, address: int) -> int:
+        offset = address - self.mmio_base
+        if offset == REG_ICR:
+            # Read-to-clear.
+            value = self.icr
+            self.icr = 0
+            return value
+        registers = {
+            REG_CTRL: self.ctrl, REG_IMS: self.ims,
+            REG_RDBA: self.rdba, REG_RDLEN: self.rdlen,
+            REG_RDH: self.rdh, REG_RDT: self.rdt,
+            REG_TDBA: self.tdba, REG_TDLEN: self.tdlen,
+            REG_TDH: self.tdh, REG_TDT: self.tdt,
+        }
+        if offset in registers:
+            return registers[offset]
+        raise ValueError(f"e1000: unknown register {offset:#x}")
+
+    def mmio_write(self, address: int, value: int) -> None:
+        offset = address - self.mmio_base
+        if offset == REG_CTRL:
+            self.ctrl = value
+        elif offset == REG_IMS:
+            self.ims = value
+        elif offset == REG_ICR:
+            self.icr &= ~value  # write-1-to-clear also supported
+        elif offset == REG_RDBA:
+            self.rdba = value
+        elif offset == REG_RDLEN:
+            self.rdlen = value
+        elif offset == REG_RDT:
+            self.rdt = value
+        elif offset == REG_TDBA:
+            self.tdba = value
+        elif offset == REG_TDLEN:
+            self.tdlen = value
+        elif offset == REG_TDT:
+            self.tdt = value
+            self._kick_tx()
+        elif offset in (REG_RDH, REG_TDH):
+            raise ValueError("head registers are device-owned")
+        else:
+            raise ValueError(f"e1000: unknown register {offset:#x}")
+
+    # -- transmit path ---------------------------------------------------------------
+
+    def _ring(self, base: int) -> list:
+        return self.machine.hostmem.lookup(base)
+
+    def _kick_tx(self) -> None:
+        if self._tx_process is None or not self._tx_process.is_alive:
+            self._tx_process = self.env.process(self._tx_loop(),
+                                                name=f"{self.name}-tx")
+
+    def _tx_loop(self):
+        ring = self._ring(self.tdba)
+        size = len(ring)
+        sent_any = False
+        while self.tdh != self.tdt:
+            descriptor = ring[self.tdh]
+            payload = self.machine.hostmem.lookup(
+                descriptor.buffer_address)
+            frame = Frame(self.name, payload.dst, payload.payload,
+                          payload.payload_bytes, payload.protocol)
+            yield from self.switch.transmit(frame)
+            descriptor.dd = True
+            self.tdh = (self.tdh + 1) % size
+            self.tx_frames += 1
+            sent_any = True
+        if sent_any:
+            self._interrupt(ICR_TXDW)
+
+    # -- receive path -------------------------------------------------------------------
+
+    def deliver(self, frame: Frame) -> None:
+        """Switch-side entry: fill the next receive descriptor."""
+        if self.rdba == 0:
+            self.rx_dropped += 1
+            return
+        ring = self._ring(self.rdba)
+        size = len(ring)
+        if self.rdh == self.rdt:
+            # No descriptors available: drop (real e1000 behaviour).
+            self.rx_dropped += 1
+            return
+        descriptor = ring[self.rdh]
+        descriptor.frame = frame
+        descriptor.length = frame.payload_bytes
+        descriptor.dd = True
+        self.rdh = (self.rdh + 1) % size
+        self.rx_frames += 1
+        self._interrupt(ICR_RXT0)
+
+    # -- interrupts ------------------------------------------------------------------------
+
+    def _interrupt(self, cause: int) -> None:
+        self.icr |= cause
+        if self.ims & cause:
+            self.interrupts_raised += 1
+            self.machine.interrupts.raise_irq(self.irq_line)

@@ -1,0 +1,157 @@
+"""Ethernet switch and loss models.
+
+The testbed topology is a single gigabit switch (paper 5: FUJITSU
+SR-S348TC1, 9000-byte MTU).  Each attached NIC owns its transmit link;
+frames serialize at line rate on the sender side, cross the switch with a
+fixed forwarding latency, and are enqueued at the receiver.  Receive-side
+contention is modelled by serializing delivery into each NIC at line rate
+too (a switch cannot push two flows into one gigabit port faster than a
+gigabit).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import params
+from repro.net.packet import Frame
+from repro.sim import Environment, Resource, Store
+
+
+class LossModel:
+    """Bernoulli frame loss with a seeded RNG (reproducible)."""
+
+    def __init__(self, loss_probability: float = 0.0, seed: int = 1):
+        if not 0.0 <= loss_probability < 1.0:
+            raise ValueError("loss probability must be in [0, 1)")
+        self.loss_probability = loss_probability
+        self._rng = random.Random(seed)
+        self.dropped = 0
+
+    def drops(self, frame: Frame) -> bool:
+        if self.loss_probability == 0.0:
+            return False
+        if self._rng.random() < self.loss_probability:
+            self.dropped += 1
+            return True
+        return False
+
+
+class EthernetSwitch:
+    """A single switch connecting named NIC ports."""
+
+    def __init__(self, env: Environment,
+                 rate_bps: float = params.GBE_BITS_PER_SECOND,
+                 mtu: int = params.GBE_MTU,
+                 forward_latency: float = params.SWITCH_LATENCY_SECONDS,
+                 loss: LossModel | None = None):
+        self.env = env
+        self.rate_bps = rate_bps
+        self.mtu = mtu
+        self.forward_latency = forward_latency
+        self.loss = loss or LossModel(0.0)
+        self._ports: dict[str, object] = {}     # name -> NIC
+        self._tx_locks: dict[str, Resource] = {}
+        self._rx_locks: dict[str, Resource] = {}
+        # Metrics.
+        self.frames_forwarded = 0
+        self.bytes_forwarded = 0
+
+    def attach(self, name: str, nic) -> None:
+        if name in self._ports:
+            raise ValueError(f"port name {name!r} already attached")
+        self._ports[name] = nic
+        self._tx_locks[name] = Resource(self.env, capacity=1)
+        self._rx_locks[name] = Resource(self.env, capacity=1)
+
+    def serialization_time(self, frame: Frame) -> float:
+        return frame.wire_bytes * 8.0 / self.rate_bps
+
+    def transmit(self, frame: Frame):
+        """Generator: carry ``frame`` from its source port to destination.
+
+        The caller is blocked only for sender-side serialization; the
+        switch-to-receiver leg runs asynchronously so back-to-back frames
+        pipeline (store-and-forward, not stop-and-wait).  Returns True if
+        the frame will be delivered, False if the switch dropped it.
+        """
+        if frame.payload_bytes > self.mtu:
+            raise ValueError(
+                f"frame payload {frame.payload_bytes} exceeds MTU {self.mtu}")
+        if frame.src not in self._ports:
+            raise ValueError(f"unknown source port {frame.src!r}")
+        destination = self._ports.get(frame.dst)
+        if destination is None:
+            raise ValueError(f"unknown destination port {frame.dst!r}")
+
+        # Sender-side serialization: one frame at a time per port.
+        with self._tx_locks[frame.src].request() as grant:
+            yield grant
+            yield self.env.timeout(self.serialization_time(frame))
+
+        if self.loss.drops(frame):
+            return False
+
+        self.env.process(self._forward(frame, destination),
+                         name="switch-forward")
+        return True
+
+    def bulk_transfer(self, src: str, dst: str, payload,
+                      payload_bytes: int, per_frame_payload: int,
+                      chunk_bytes: int = 128 * 1024):
+        """Generator: carry a large payload as one logical transfer.
+
+        Equivalent on the wire to the fragment train the payload would
+        have been split into (same serialization time, including
+        per-frame overhead), but simulated in ``chunk_bytes`` steps
+        instead of per frame — the fidelity knob for multi-gigabyte
+        streams.  Port contention is preserved on BOTH sides: the
+        sender's port and the receiver's port are each held chunk by
+        chunk (pipelined one chunk apart), so concurrent flows — and a
+        guest sharing the receiving NIC — interleave and queue
+        realistically.
+        """
+        if src not in self._ports:
+            raise ValueError(f"unknown source port {src!r}")
+        destination = self._ports.get(dst)
+        if destination is None:
+            raise ValueError(f"unknown destination port {dst!r}")
+        frames = max(1, -(-payload_bytes // per_frame_payload))
+        wire_bytes = payload_bytes + frames * params.ETH_FRAME_OVERHEAD
+        total_time = wire_bytes * 8.0 / self.rate_bps
+        chunks = max(1, -(-payload_bytes // chunk_bytes))
+        per_chunk = total_time / chunks
+
+        sent_chunks = Store(self.env)
+        rx_done = self.env.event()
+
+        def rx_side():
+            for _ in range(chunks):
+                yield sent_chunks.get()
+                with self._rx_locks[dst].request() as grant:
+                    yield grant
+                    yield self.env.timeout(per_chunk)
+            self.frames_forwarded += frames
+            self.bytes_forwarded += wire_bytes
+            destination.deliver(Frame(src, dst, payload,
+                                      per_frame_payload))
+            rx_done.succeed()
+
+        self.env.process(rx_side(), name="bulk-rx")
+        for _ in range(chunks):
+            with self._tx_locks[src].request() as grant:
+                yield grant
+                yield self.env.timeout(per_chunk)
+            yield sent_chunks.put(self.env.now)
+        yield self.env.timeout(self.forward_latency)
+        yield rx_done
+
+    def _forward(self, frame: Frame, destination):
+        yield self.env.timeout(self.forward_latency)
+        # Receiver-side port capacity: one frame at a time into the port.
+        with self._rx_locks[frame.dst].request() as grant:
+            yield grant
+            yield self.env.timeout(self.serialization_time(frame))
+        self.frames_forwarded += 1
+        self.bytes_forwarded += frame.wire_bytes
+        destination.deliver(frame)

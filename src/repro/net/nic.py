@@ -1,0 +1,72 @@
+"""NIC model with e1000-style receive ring.
+
+The BMcast VMM drives its dedicated NIC with a tiny polling driver (paper
+4.3: the PRO/1000 driver is 718 LOC).  The model keeps the properties that
+matter: a bounded receive ring that drops on overflow, per-NIC transmit
+serialization (via the switch), and both blocking and polling receive
+paths.
+"""
+
+from __future__ import annotations
+
+from repro.net.link import EthernetSwitch
+from repro.net.packet import Frame
+from repro.sim import Environment, Store
+
+
+class Nic:
+    """One network interface attached to a switch port."""
+
+    def __init__(self, env: Environment, switch: EthernetSwitch, name: str,
+                 rx_ring_size: int = 256, model: str = "intel-pro1000"):
+        self.env = env
+        self.switch = switch
+        self.name = name
+        self.model = model
+        self.rx_ring: Store = Store(env, capacity=rx_ring_size)
+        switch.attach(name, self)
+        # Metrics.
+        self.tx_frames = 0
+        self.tx_bytes = 0
+        self.rx_frames = 0
+        self.rx_bytes = 0
+        self.rx_dropped = 0
+
+    def __repr__(self):
+        return f"<Nic {self.name} ({self.model})>"
+
+    # -- transmit ---------------------------------------------------------------
+
+    def send(self, dst: str, payload, payload_bytes: int,
+             protocol: str = "aoe"):
+        """Generator: transmit one frame; returns True if delivered."""
+        frame = Frame(self.name, dst, payload, payload_bytes, protocol)
+        delivered = yield from self.switch.transmit(frame)
+        self.tx_frames += 1
+        self.tx_bytes += frame.wire_bytes
+        return delivered
+
+    # -- receive ----------------------------------------------------------------
+
+    def deliver(self, frame: Frame) -> None:
+        """Switch-side entry: enqueue into the RX ring, drop on overflow."""
+        if self.rx_ring.is_full:
+            self.rx_dropped += 1
+            return
+        self.rx_frames += 1
+        self.rx_bytes += frame.wire_bytes
+        # Non-blocking: ring has space, the put succeeds immediately.
+        self.rx_ring.put(frame)
+
+    def recv(self):
+        """Generator: block until a frame arrives; returns it."""
+        frame = yield self.rx_ring.get()
+        return frame
+
+    def poll(self) -> Frame | None:
+        """Non-blocking receive (the VMM's polling driver path)."""
+        return self.rx_ring.try_get()
+
+    @property
+    def rx_pending(self) -> int:
+        return len(self.rx_ring)

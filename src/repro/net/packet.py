@@ -1,0 +1,35 @@
+"""Ethernet frame model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+
+from repro import params
+
+_frame_ids = count()
+
+
+@dataclass
+class Frame:
+    """One Ethernet frame.
+
+    ``payload`` is an arbitrary protocol object; ``payload_bytes`` is what
+    counts for wire timing.  Total wire size adds header and framing
+    overhead.
+    """
+
+    src: str
+    dst: str
+    payload: object
+    payload_bytes: int
+    protocol: str = "aoe"
+    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+
+    @property
+    def wire_bytes(self) -> int:
+        return self.payload_bytes + params.ETH_FRAME_OVERHEAD
+
+    def __repr__(self):
+        return (f"<Frame #{self.frame_id} {self.src}->{self.dst} "
+                f"{self.protocol} {self.payload_bytes}B>")

@@ -1,0 +1,157 @@
+"""The simulation environment: clock, event queue, and run loop."""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from itertools import count
+
+from repro.sim.events import (
+    AllOf,
+    AnyOf,
+    Event,
+    SimulationError,
+    Timeout,
+)
+from repro.sim.process import Process
+
+
+class EmptySchedule(Exception):
+    """Raised internally when the event queue runs dry."""
+
+
+class StopSimulation(Exception):
+    """Raised to abort :meth:`Environment.run` from within the simulation."""
+
+
+class Environment:
+    """Discrete-event simulation environment.
+
+    Time is a float in **seconds**.  Events are processed in (time,
+    priority, insertion-order) order, so simultaneous events retain FIFO
+    semantics unless explicitly prioritized.
+    """
+
+    #: Priority for urgent events (interrupts) processed before normal ones.
+    PRIORITY_URGENT = 0
+    #: Default priority.
+    PRIORITY_NORMAL = 1
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list = []
+        self._eid = count()
+        self._active_process: Process | None = None
+
+    # -- clock and introspection ------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Process | None:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    def __repr__(self):
+        return f"<Environment t={self._now:.6f} queued={len(self._queue)}>"
+
+    # -- event construction ------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value=None) -> Timeout:
+        """Create an event firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator, name: str | None = None) -> Process:
+        """Start ``generator`` as a new simulation process."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling and the run loop ----------------------------------------
+
+    def schedule(self, event: Event, priority: int = PRIORITY_NORMAL,
+                 delay: float = 0.0) -> None:
+        """Put a triggered event onto the queue ``delay`` seconds from now."""
+        heappush(self._queue,
+                 (self._now + delay, priority, next(self._eid), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event."""
+        try:
+            self._now, _, _, event = heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event.defused:
+            # An unhandled failure: surface it rather than losing it.
+            raise event._value
+
+    def run(self, until=None):
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until no events remain), a number
+        (run until that simulated time), or an :class:`Event` (run until it
+        fires, returning its value).
+        """
+        stop_at = None
+        stop_event = None
+
+        if until is not None:
+            if isinstance(until, Event):
+                stop_event = until
+                if stop_event.callbacks is None:
+                    # Already processed: nothing to run.
+                    return stop_event.value if stop_event.ok else None
+                stop_event.callbacks.append(_stop_callback)
+            else:
+                stop_at = float(until)
+                if stop_at <= self._now:
+                    raise ValueError(
+                        f"until ({stop_at}) must be greater than "
+                        f"current time ({self._now})"
+                    )
+
+        try:
+            while True:
+                if stop_at is not None and self.peek() > stop_at:
+                    self._now = stop_at
+                    return None
+                self.step()
+        except EmptySchedule:
+            if stop_event is not None and not stop_event.triggered:
+                raise SimulationError(
+                    "simulation ended before the awaited event fired"
+                ) from None
+            if stop_at is not None:
+                self._now = stop_at
+            return None
+        except StopSimulation as stop:
+            return stop.args[0] if stop.args else None
+
+    def run_until_idle(self) -> None:
+        """Drain every queued event (alias for ``run(None)``)."""
+        self.run(None)
+
+
+def _stop_callback(event: Event) -> None:
+    if event.ok:
+        raise StopSimulation(event.value)
+    raise event.value

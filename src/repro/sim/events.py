@@ -1,0 +1,251 @@
+"""Core event primitives for the discrete-event simulation engine.
+
+The engine is generator-based in the style of SimPy: simulation *processes*
+are Python generators that ``yield`` events; the environment resumes a
+process when the event it is waiting on fires.  Events carry a value (made
+available as the result of the ``yield``) or a failure (raised inside the
+waiting process).
+"""
+
+from __future__ import annotations
+
+import typing
+
+if typing.TYPE_CHECKING:
+    from repro.sim.engine import Environment
+
+# Sentinel distinguishing "no value set yet" from "value is None".
+_PENDING = object()
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation engine itself."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it.
+
+    The interrupting party supplies a ``cause`` object, available via
+    :attr:`cause`, that tells the interrupted process why it was woken.
+    """
+
+    @property
+    def cause(self):
+        return self.args[0] if self.args else None
+
+
+class Event:
+    """A happening inside the simulation that processes can wait on.
+
+    An event goes through three states: *pending* (created, not scheduled),
+    *triggered* (scheduled onto the event queue with a value), and
+    *processed* (its callbacks have run).  Processes wait on an event by
+    yielding it; when it is processed, each waiting process resumes with
+    the event's value (or the failure is raised inside it).
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: list | None = []
+        self._value = _PENDING
+        self._ok: bool | None = None
+        #: Whether a failure has been handled (yielded on or defused).
+        self.defused = False
+
+    def __repr__(self):
+        status = "pending"
+        if self.triggered:
+            status = "ok" if self._ok else "failed"
+        return f"<{type(self).__name__} {status} at {hex(id(self))}>"
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been given a value and scheduled."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have been executed."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return bool(self._ok)
+
+    @property
+    def value(self):
+        """The event's value (or failure exception) once triggered."""
+        if self._value is _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    def succeed(self, value=None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed; waiters see ``exception`` raised."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Mirror the outcome of another (triggered) event onto this one."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(event._value)
+
+    # -- combinators ------------------------------------------------------
+
+    def __and__(self, other: "Event") -> "Condition":
+        return Condition(self.env, Condition.all_done, [self, other])
+
+    def __or__(self, other: "Event") -> "Condition":
+        return Condition(self.env, Condition.any_done, [self, other])
+
+
+class Timeout(Event):
+    """An event that fires after ``delay`` units of simulated time."""
+
+    def __init__(self, env: "Environment", delay: float, value=None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self._delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+    def __repr__(self):
+        return f"<Timeout delay={self._delay} at {hex(id(self))}>"
+
+
+class ConditionValue:
+    """Ordered mapping of the events a condition completed with."""
+
+    def __init__(self):
+        self.events: list[Event] = []
+
+    def __getitem__(self, key: Event):
+        if key not in self.events:
+            raise KeyError(repr(key))
+        return key._value
+
+    def __contains__(self, key: Event) -> bool:
+        return key in self.events
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, ConditionValue):
+            return self.todict() == other.todict()
+        return self.todict() == other
+
+    def __repr__(self):
+        return f"<ConditionValue {self.todict()!r}>"
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def keys(self):
+        return iter(self.events)
+
+    def values(self):
+        return (event._value for event in self.events)
+
+    def items(self):
+        return ((event, event._value) for event in self.events)
+
+    def todict(self) -> dict:
+        return {event: event._value for event in self.events}
+
+
+class Condition(Event):
+    """Waits for a combination of events (``AllOf``/``AnyOf``)."""
+
+    def __init__(self, env, evaluate, events):
+        super().__init__(env)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+
+        if not self._events:
+            self.succeed(ConditionValue())
+            return
+
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("events from different environments")
+
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+        if not self.triggered:
+            self.callbacks.append(self._collect_values)
+
+    def _populate_value(self, value: ConditionValue) -> None:
+        for event in self._events:
+            if isinstance(event, Condition):
+                event._populate_value(value)
+            elif event.callbacks is None:
+                value.events.append(event)
+
+    def _collect_values(self, _event: Event) -> None:
+        if self._ok:
+            value = ConditionValue()
+            self._populate_value(value)
+            self._value = value
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        self._count += 1
+        if not event._ok:
+            event.defused = True
+            self.fail(event._value)
+        elif self._evaluate(self._events, self._count):
+            # Populate with what has completed so far; if the condition
+            # fires through the normal callback path, the registered
+            # _collect_values callback refreshes this at processing time
+            # (this immediate population covers members that were already
+            # processed when the condition was constructed).
+            value = ConditionValue()
+            self._populate_value(value)
+            self.succeed(value)
+
+    @staticmethod
+    def all_done(events: list, count: int) -> bool:
+        return count == len(events)
+
+    @staticmethod
+    def any_done(events: list, count: int) -> bool:
+        return count > 0 or not events
+
+
+class AllOf(Condition):
+    """Condition that fires when every given event has fired."""
+
+    def __init__(self, env, events):
+        super().__init__(env, Condition.all_done, events)
+
+
+class AnyOf(Condition):
+    """Condition that fires as soon as any given event fires."""
+
+    def __init__(self, env, events):
+        super().__init__(env, Condition.any_done, events)

@@ -1,0 +1,114 @@
+"""Simulation processes: generators driven by the event loop."""
+
+from __future__ import annotations
+
+from repro.sim.events import Event, Interrupt, SimulationError
+
+
+class Process(Event):
+    """A running simulation process.
+
+    Wraps a generator.  Each value the generator yields must be an
+    :class:`~repro.sim.events.Event`; the process sleeps until that event
+    fires and then resumes with the event's value.  The :class:`Process`
+    itself is an event that fires when the generator finishes, carrying the
+    generator's return value — so processes can wait on each other simply
+    by yielding them.
+    """
+
+    def __init__(self, env, generator, name: str | None = None):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: The event this process is currently waiting on (None if not
+        #: started or already finished).
+        self.target: Event | None = None
+        # Kick-start: resume the generator at time `now`.
+        init = Event(env)
+        init._ok = True
+        init._value = None
+        init.callbacks.append(self._resume)
+        env.schedule(init)
+        self._initialized = False
+
+    def __repr__(self):
+        return f"<Process {self.name} at {hex(id(self))}>"
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the wrapped generator has not terminated."""
+        return not self.triggered
+
+    def interrupt(self, cause=None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a process that has already terminated, or a process
+        interrupting itself, is an error.
+        """
+        if self.triggered:
+            raise SimulationError(f"{self!r} has terminated; cannot interrupt")
+        if self is self.env.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        # Detach from whatever the process was waiting on so the stale
+        # event cannot resume it a second time when it eventually fires.
+        if self.target is not None and self.target.callbacks is not None:
+            try:
+                self.target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self.target = None
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event.defused = True
+        interrupt_event.callbacks.append(self._resume)
+        self.env.schedule(interrupt_event, priority=self.env.PRIORITY_URGENT)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of ``event``."""
+        env = self.env
+        env._active_process = self
+
+        while True:
+            if event._ok:
+                advance = self._generator.send
+                payload = event._value
+            else:
+                event.defused = True
+                advance = self._generator.throw
+                payload = event._value
+
+            try:
+                target = advance(payload)
+            except StopIteration as stop:
+                self.target = None
+                env._active_process = None
+                self._ok = True
+                self._value = stop.value
+                env.schedule(self)
+                return
+            except BaseException as error:
+                self.target = None
+                env._active_process = None
+                self._ok = False
+                self._value = error
+                env.schedule(self)
+                return
+
+            if not isinstance(target, Event):
+                env._active_process = None
+                raise SimulationError(
+                    f"process {self.name!r} yielded non-event {target!r}"
+                )
+
+            if target.callbacks is not None:
+                # Target not yet processed: register and go to sleep.
+                target.callbacks.append(self._resume)
+                self.target = target
+                env._active_process = None
+                return
+
+            # Target already processed: loop and resume immediately with it.
+            event = target

@@ -1,0 +1,17 @@
+"""Storage substrate: disks and host controller models."""
+
+from repro.storage.ahci import AhciController
+from repro.storage.blockdev import BlockOp, BlockRequest, SectorBuffer
+from repro.storage.disk import Disk
+from repro.storage.ide import IdeController, Taskfile, decode_request
+
+__all__ = [
+    "AhciController",
+    "BlockOp",
+    "BlockRequest",
+    "Disk",
+    "IdeController",
+    "SectorBuffer",
+    "Taskfile",
+    "decode_request",
+]

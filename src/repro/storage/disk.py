@@ -1,0 +1,138 @@
+"""Mechanical disk model (SATA nearline drive).
+
+Service time = command overhead + seek + rotational latency + media
+transfer, with a track/read cache in front.  The seek component is what
+makes background-copy interference visible (paper 5.6: guest and VMM
+writing different regions adds seek overhead, so the two throughputs do
+not sum to the bare-metal rate).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import params
+from repro.sim import Environment, Resource
+from repro.storage.blockdev import BlockOp, BlockRequest
+from repro.util.intervalmap import IntervalMap
+
+
+class Disk:
+    """One rotational disk with a single actuator and a read cache."""
+
+    def __init__(self, env: Environment,
+                 capacity_bytes: int = params.DISK_BYTES,
+                 read_bw: float = params.DISK_READ_BW,
+                 write_bw: float = params.DISK_WRITE_BW,
+                 seek_avg: float = params.DISK_SEEK_AVG_SECONDS,
+                 seek_max: float = params.DISK_SEEK_MAX_SECONDS,
+                 rotation: float = params.DISK_ROTATION_SECONDS,
+                 cache_bytes: int = params.DISK_CACHE_BYTES):
+        self.env = env
+        self.capacity_bytes = capacity_bytes
+        self.total_sectors = capacity_bytes // params.SECTOR_BYTES
+        self.read_bw = read_bw
+        self.write_bw = write_bw
+        self.seek_avg = seek_avg
+        self.seek_max = seek_max
+        self.rotation = rotation
+        self.cache_sectors = cache_bytes // params.SECTOR_BYTES
+
+        #: Sector tokens currently on the platters.
+        self.contents = IntervalMap()
+        #: The single actuator: requests serialize here.
+        self.arm = Resource(env, capacity=1)
+        self._head_lba = 0
+        # Read cache: remember the most recent read window (track cache
+        # behaviour is approximated by a single recency window, which is
+        # all the dummy-sector restart trick needs).
+        self._cache_start = 0
+        self._cache_end = 0
+
+        # Metrics.
+        self.requests_served = 0
+        self.sectors_read = 0
+        self.sectors_written = 0
+        self.busy_seconds = 0.0
+        self.seek_seconds = 0.0
+
+    # -- timing model --------------------------------------------------------
+
+    def seek_time(self, from_lba: int, to_lba: int) -> float:
+        """Seek between two LBAs: sqrt law over stroke distance."""
+        if from_lba == to_lba:
+            return 0.0
+        distance = abs(to_lba - from_lba) / self.total_sectors
+        # Short seeks are cheap; sqrt law calibrated so distance=1/3
+        # (the random average) gives seek_avg.
+        return min(self.seek_max,
+                   self.seek_avg * math.sqrt(distance * 3.0))
+
+    def service_time(self, request: BlockRequest) -> float:
+        """Full mechanical service time for ``request`` from current head."""
+        if self._cache_hit(request):
+            return params.DISK_CACHE_HIT_SECONDS
+        seek = self.seek_time(self._head_lba, request.lba)
+        # Sequential continuation skips rotational latency.
+        rotational = 0.0 if request.lba == self._head_lba \
+            else self.rotation / 2.0
+        bandwidth = (self.read_bw if request.op is BlockOp.READ
+                     else self.write_bw)
+        transfer = request.byte_count / bandwidth
+        return (params.DISK_COMMAND_OVERHEAD_SECONDS
+                + seek + rotational + transfer)
+
+    def _cache_hit(self, request: BlockRequest) -> bool:
+        return (request.op is BlockOp.READ
+                and request.lba >= self._cache_start
+                and request.end_lba <= self._cache_end)
+
+    # -- execution --------------------------------------------------------------
+
+    def execute(self, request: BlockRequest):
+        """Generator: perform ``request``, filling/consuming its buffer.
+
+        Acquires the actuator, waits the mechanical time, then applies the
+        content transfer.  Reads fill ``request.buffer`` from the platter
+        contents; writes store the buffer's runs.
+        """
+        if request.end_lba > self.total_sectors:
+            raise ValueError(
+                f"request beyond end of disk: lba={request.lba} "
+                f"n={request.sector_count}")
+        with self.arm.request() as grant:
+            yield grant
+            duration = self.service_time(request)
+            cache_hit = self._cache_hit(request)
+            if not cache_hit:
+                self.seek_seconds += self.seek_time(self._head_lba,
+                                                    request.lba)
+            yield self.env.timeout(duration)
+            self._apply(request, cache_hit)
+            self.busy_seconds += duration
+        return request
+
+    def _apply(self, request: BlockRequest, cache_hit: bool) -> None:
+        if request.op is BlockOp.READ:
+            request.buffer.fill_from(self.contents)
+            self.sectors_read += request.sector_count
+            if not cache_hit:
+                # Update the read-cache window; a hit is served from the
+                # cache and moves neither the window nor the head.
+                self._cache_start = request.lba
+                self._cache_end = request.end_lba
+                self._head_lba = request.end_lba
+        else:
+            request.buffer.store_to(self.contents)
+            self.sectors_written += request.sector_count
+            self._head_lba = request.end_lba
+        self.requests_served += 1
+
+    # -- convenience -----------------------------------------------------------
+
+    @property
+    def head_lba(self) -> int:
+        return self._head_lba
+
+    def utilization(self, elapsed: float) -> float:
+        return self.busy_seconds / elapsed if elapsed > 0 else 0.0

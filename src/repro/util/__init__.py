@@ -1,0 +1,5 @@
+"""Shared utility data structures."""
+
+from repro.util.intervalmap import IntervalMap
+
+__all__ = ["IntervalMap"]

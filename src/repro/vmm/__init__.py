@@ -1,0 +1,40 @@
+"""The BMcast VMM: device mediators, streaming deployment, devirt."""
+
+from repro.vmm.bitmap import BlockBitmap, BlockState
+from repro.vmm.bmcast import (
+    DEPLOY_CONDITION,
+    DEVIRT_CONDITION,
+    BmcastVmm,
+)
+from repro.vmm.copier import BackgroundCopier
+from repro.vmm.deploy import DeploymentContext
+from repro.vmm.devirt import Devirtualizer
+from repro.vmm.mediator import DeviceMediator, MediatorMode
+from repro.vmm.mediator_ahci import AhciMediator
+from repro.vmm.mediator_ide import IdeMediator
+from repro.vmm.mediator_nic import NicMediator, SharedNicPort
+from repro.vmm.moderation import (
+    FULL_SPEED,
+    ModerationPolicy,
+    interval_sweep_policy,
+)
+
+__all__ = [
+    "AhciMediator",
+    "BackgroundCopier",
+    "BlockBitmap",
+    "BlockState",
+    "BmcastVmm",
+    "DEPLOY_CONDITION",
+    "DEVIRT_CONDITION",
+    "DeploymentContext",
+    "DeviceMediator",
+    "Devirtualizer",
+    "FULL_SPEED",
+    "IdeMediator",
+    "MediatorMode",
+    "ModerationPolicy",
+    "NicMediator",
+    "SharedNicPort",
+    "interval_sweep_policy",
+]

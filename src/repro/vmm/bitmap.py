@@ -1,0 +1,227 @@
+"""Deployment block bitmap (paper 3.3).
+
+The VMM tracks, per copy block (1024 KB), whether the local disk already
+holds the authoritative data.  The consistency hazard the paper describes:
+the VMM requests block B from the server; before the reply lands, the
+guest writes to B; the reply must NOT clobber the guest's newer data.  The
+bitmap is checked *atomically at write time* to prevent that.
+
+Guest writes are sector-granular but blocks are 1 MB, so a sector-granular
+*dirty overlay* records guest-written ranges inside not-yet-filled blocks;
+the copier masks those sectors out of its writes, and the redirector
+serves them from the local disk rather than the server.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro import params
+from repro.util.intervalmap import IntervalMap
+
+
+class BlockState(enum.Enum):
+    EMPTY = "empty"       # local disk does not hold this block yet
+    COPYING = "copying"   # a background fetch for it is in flight
+    FILLED = "filled"     # local disk is authoritative
+
+
+class BlockBitmap:
+    """Per-block deployment state plus the sector-granular dirty overlay."""
+
+    def __init__(self, image_sectors: int,
+                 block_bytes: int = params.COPY_BLOCK_BYTES):
+        if image_sectors <= 0:
+            raise ValueError("image_sectors must be positive")
+        if block_bytes % params.SECTOR_BYTES != 0:
+            raise ValueError("block size must be sector-aligned")
+        self.image_sectors = image_sectors
+        self.block_sectors = block_bytes // params.SECTOR_BYTES
+        self.block_count = (image_sectors + self.block_sectors - 1) \
+            // self.block_sectors
+        self._filled = IntervalMap()      # block index -> True
+        self._copying: set[int] = set()
+        #: Sector ranges the guest wrote inside non-FILLED blocks.
+        self.dirty = IntervalMap()
+        # Metrics.
+        self.copier_skips = 0
+
+    # -- block geometry ---------------------------------------------------------
+
+    def block_of(self, lba: int) -> int:
+        return lba // self.block_sectors
+
+    def block_range(self, block: int) -> tuple[int, int]:
+        """(first LBA, sector count) of ``block``, clipped to the image."""
+        start = block * self.block_sectors
+        count = min(self.block_sectors, self.image_sectors - start)
+        return start, count
+
+    def blocks_overlapping(self, lba: int, sector_count: int):
+        first = self.block_of(lba)
+        last = self.block_of(lba + sector_count - 1)
+        return range(first, min(last, self.block_count - 1) + 1)
+
+    # -- state queries -------------------------------------------------------------
+
+    def state(self, block: int) -> BlockState:
+        if self._filled.get(block):
+            return BlockState.FILLED
+        if block in self._copying:
+            return BlockState.COPYING
+        return BlockState.EMPTY
+
+    def is_filled(self, block: int) -> bool:
+        return self._filled.get(block) is not None
+
+    @property
+    def filled_count(self) -> int:
+        return self._filled.total_covered()
+
+    @property
+    def complete(self) -> bool:
+        return self.filled_count == self.block_count
+
+    def first_empty_from(self, block: int) -> int | None:
+        """The first non-FILLED, non-COPYING block at/after ``block``,
+        wrapping around; ``None`` when everything is filled/claimed."""
+        for base in (block, 0):
+            cursor = base
+            while cursor < self.block_count:
+                gap = self._filled.first_gap(cursor, self.block_count)
+                if gap is None:
+                    break
+                gap_start, gap_end = gap
+                for candidate in range(gap_start, gap_end):
+                    if candidate not in self._copying:
+                        return candidate
+                cursor = gap_end
+        return None
+
+    # -- sector-level coverage (read-path decisions) -----------------------------------
+
+    def sectors_local(self, lba: int, sector_count: int) -> bool:
+        """True if every sector in range is served by the local disk
+        (inside a FILLED block, or guest-dirty)."""
+        cursor = lba
+        end = lba + sector_count
+        while cursor < end:
+            block = self.block_of(cursor)
+            block_end = min((block + 1) * self.block_sectors, end)
+            if not self.is_filled(block):
+                span = block_end - cursor
+                if self.dirty.covered_length(cursor, span) != span:
+                    return False
+            cursor = block_end
+        return True
+
+    def local_subranges(self, lba: int, sector_count: int):
+        """Yield (start, count) subranges that must come from the local
+        disk when redirecting the enclosing read."""
+        cursor = lba
+        end = lba + sector_count
+        while cursor < end:
+            block = self.block_of(cursor)
+            block_end = min((block + 1) * self.block_sectors, end)
+            if self.is_filled(block):
+                yield (cursor, block_end - cursor)
+            else:
+                for run_start, run_end, value in self.dirty.runs_in(
+                        cursor, block_end - cursor):
+                    if value is not None:
+                        yield (run_start, run_end - run_start)
+            cursor = block_end
+
+    # -- transitions --------------------------------------------------------------------
+
+    def try_claim(self, block: int) -> bool:
+        """Copier: atomically move EMPTY -> COPYING.  False if not EMPTY."""
+        if self.state(block) is not BlockState.EMPTY:
+            self.copier_skips += 1
+            return False
+        self._copying.add(block)
+        return True
+
+    def release_claim(self, block: int) -> None:
+        self._copying.discard(block)
+
+    def commit_fill(self, block: int) -> None:
+        """Copier: COPYING -> FILLED after the disk write completed."""
+        if block not in self._copying:
+            raise ValueError(f"block {block} was not claimed")
+        self._copying.discard(block)
+        self._filled.set_range(block, 1, True)
+        # The overlay for this block is no longer needed.
+        start, count = self.block_range(block)
+        self.dirty.clear_range(start, count)
+
+    def record_guest_write(self, lba: int, sector_count: int) -> None:
+        """Mediator: the guest wrote this range.
+
+        Blocks that the write covers completely become FILLED outright
+        (newest data, nothing left to copy); partially covered non-filled
+        blocks get a dirty-overlay entry.
+        """
+        end = lba + sector_count
+        for block in self.blocks_overlapping(lba, sector_count):
+            if self.is_filled(block):
+                continue
+            block_start, block_count = self.block_range(block)
+            block_end = block_start + block_count
+            overlap_start = max(lba, block_start)
+            overlap_end = min(end, block_end)
+            if overlap_start == block_start and overlap_end == block_end:
+                # Whole block overwritten by the guest.
+                self._copying.discard(block)
+                self._filled.set_range(block, 1, True)
+                self.dirty.clear_range(block_start, block_count)
+            else:
+                self.dirty.set_range(overlap_start,
+                                     overlap_end - overlap_start, True)
+
+    def writable_runs(self, block: int) -> list[tuple[int, int]]:
+        """(start, count) ranges of ``block`` the copier may write —
+        everything except guest-dirty sectors.  **The atomic check**: call
+        this immediately before the disk write."""
+        start, count = self.block_range(block)
+        return [
+            (run_start, run_end - run_start)
+            for run_start, run_end, value in self.dirty.runs_in(start, count)
+            if value is None
+        ]
+
+    # -- persistence (paper: saved to an unused on-disk region) ---------------------------
+
+    def snapshot(self) -> dict:
+        """Serializable state for the on-disk bitmap save.
+
+        Runs are tuples so the snapshot is immutable: the on-disk copy
+        must not alias live state.
+        """
+        return {
+            "image_sectors": self.image_sectors,
+            "block_sectors": self.block_sectors,
+            "filled": tuple(self._filled.runs()),
+            "dirty": tuple(self.dirty.runs()),
+        }
+
+    @classmethod
+    def restore(cls, snapshot: dict) -> "BlockBitmap":
+        bitmap = cls(snapshot["image_sectors"],
+                     snapshot["block_sectors"] * params.SECTOR_BYTES)
+        bitmap.load_snapshot(snapshot)
+        return bitmap
+
+    def load_snapshot(self, snapshot: dict) -> None:
+        """Replace this bitmap's state with a saved snapshot (resume)."""
+        if snapshot["image_sectors"] != self.image_sectors:
+            raise ValueError("snapshot is for a different image size")
+        if snapshot["block_sectors"] != self.block_sectors:
+            raise ValueError("snapshot uses a different block size")
+        self._filled = IntervalMap()
+        self.dirty = IntervalMap()
+        self._copying.clear()
+        for start, end, value in snapshot["filled"]:
+            self._filled.set_range(start, end - start, value)
+        for start, end, value in snapshot["dirty"]:
+            self.dirty.set_range(start, end - start, value)

@@ -1,0 +1,302 @@
+"""BMcast: the de-virtualizable deployment VMM (the paper's system).
+
+Lifecycle (paper 3.1, Figure 1):
+
+* **initialization** — network-boot the tiny VMM (~5 s), VMXON every
+  CPU, reserve VMM memory by carving the BIOS map, enable identity-mapped
+  nested paging with the mediated device's MMIO/PIO trapped, install the
+  device mediator, connect to the storage server.
+* **deployment** — the guest boots and runs with direct hardware access;
+  copy-on-read redirects reads of empty blocks; the background copier
+  streams the rest of the image, moderated.
+* **de-virtualization** — once the bitmap is complete, tear everything
+  down seamlessly (see :mod:`repro.vmm.devirt`).
+* **bare-metal** — the VMM is gone; zero overhead.
+"""
+
+from __future__ import annotations
+
+from repro import params
+from repro.aoe.client import AoeInitiator
+from repro.hw.cpu import ExitReason
+from repro.hw.platform import PlatformCondition
+from repro.metrics.eventlog import NULL_LOG, EventLog
+from repro.sim import Environment
+from repro.vmm.bitmap import BlockBitmap
+from repro.vmm.copier import BackgroundCopier
+from repro.vmm.deploy import DeploymentContext
+from repro.vmm.devirt import Devirtualizer
+from repro.vmm.mediator import mediator_for
+# Importing the mediator modules registers them with the VMM core.
+from repro.vmm import mediator_ahci  # noqa: F401
+from repro.vmm import mediator_ide  # noqa: F401
+from repro.vmm import mediator_megaraid  # noqa: F401
+from repro.vmm.moderation import ModerationPolicy
+
+
+#: Condition published while BMcast is deploying.
+DEPLOY_CONDITION = PlatformCondition(
+    label="bmcast-deploy",
+    nested_paging=True,
+    vmm_cpu_fraction=params.BMCAST_DEPLOY_CPU_FRACTION,
+    # The 12-core machine mostly absorbs the deployment threads on idle
+    # cores (paper 5.2: the 6% total CPU cost shaves throughput ~5%, not
+    # the full 6% + TLB cost, because the workload is not core-saturated).
+    vmm_cpu_contention=0.35,
+    ib_latency_factor=params.BMCAST_IB_LATENCY_FACTOR,
+)
+
+#: Condition after de-virtualization: identical to bare metal.
+DEVIRT_CONDITION = PlatformCondition(label="bmcast-devirt")
+
+
+class BmcastVmm:
+    """One BMcast instance managing one machine."""
+
+    def __init__(self, env: Environment, machine, vmm_nic, server: str,
+                 image_sectors: int,
+                 policy: ModerationPolicy | None = None,
+                 poll_interval: float | None = None,
+                 vmxoff_mode: str = "full",
+                 management_nic_slot: int | None = None,
+                 boot_seconds: float = params.BMCAST_VMM_BOOT_SECONDS,
+                 auto_devirtualize: bool = True,
+                 resume: bool = False,
+                 release_memory: bool = False,
+                 prefetch_lbas=None,
+                 extra_mediators=(),
+                 trace: bool = False):
+        self.env = env
+        self.machine = machine
+        self.vmm_nic = vmm_nic
+        self.boot_seconds = boot_seconds
+        self.auto_devirtualize = auto_devirtualize
+        #: Resume a previously interrupted deployment from the on-disk
+        #: bitmap (paper 3.3's shutdown-and-reboot case).
+        self.resume = resume
+        self.resumed_from_disk = False
+        #: Memory hot-plug extension (paper 4.3 lists the prototype's
+        #: failure to return the 128 MB as a fixable limitation): give
+        #: the reservation back to the guest at de-virtualization.
+        self.release_memory = release_memory
+
+        if poll_interval is None:
+            if machine.spec.has_preemption_timer:
+                poll_interval = params.POLL_INTERVAL_SECONDS
+            else:
+                # Soft-timer fallback: coarser polling (paper 4.1).
+                poll_interval = params.SOFT_TIMER_INTERVAL_SECONDS
+        self.poll_interval = poll_interval
+
+        self.initiator = AoeInitiator(env, vmm_nic, server,
+                                      poll_interval=poll_interval)
+        self.bitmap = BlockBitmap(image_sectors)
+        #: Structured event log (opt-in; see repro.metrics.eventlog).
+        self.tracer = EventLog(env) if trace else NULL_LOG
+        self.deployment = DeploymentContext(
+            env, self.bitmap, self.initiator,
+            poll_interval=poll_interval,
+            protected_lba=image_sectors + 8,
+            protected_sectors=64,
+            tracer=self.tracer,
+        )
+        self.mediator = self._build_mediator()
+        prefetch_blocks = None
+        if prefetch_lbas:
+            seen = set()
+            prefetch_blocks = []
+            for lba in prefetch_lbas:
+                block = self.bitmap.block_of(lba)
+                if block not in seen:
+                    seen.add(block)
+                    prefetch_blocks.append(block)
+        self.copier = BackgroundCopier(env, self.deployment, self.mediator,
+                                       policy=policy,
+                                       prefetch_blocks=prefetch_blocks)
+        #: Additional mediators (e.g. a shared-NIC mediator, paper 6)
+        #: installed at boot and removed at de-virtualization.
+        self.extra_mediators = list(extra_mediators)
+        self.devirtualizer = Devirtualizer(
+            env, machine, [self.mediator] + self.extra_mediators,
+            vmxoff_mode=vmxoff_mode,
+            management_nic_slot=management_nic_slot)
+
+        self.phase = "off"
+        self.phase_log: list[tuple[float, str]] = [(env.now, "off")]
+        self._devirt_watcher = None
+
+    # -- bitmap persistence (paper 3.3: saved to an unused disk region) --------
+
+    #: Token tag identifying an on-disk bitmap save.
+    BITMAP_TOKEN = "bmcast-bitmap"
+
+    def persist_bitmap(self):
+        """Generator: write the bitmap snapshot to the protected region.
+
+        Survives shutdown/reboot mid-deployment; the region is invisible
+        to the guest (reads are converted to dummy data).
+        """
+        from repro.storage.blockdev import BlockOp, BlockRequest
+        snapshot = self.bitmap.snapshot()
+        lba = self.deployment.protected_lba
+        count = self.deployment.protected_sectors
+        request = BlockRequest(BlockOp.WRITE, lba, count, origin="vmm")
+        request.buffer.runs = [(lba, lba + count,
+                                (self.BITMAP_TOKEN, snapshot))]
+        yield from self.mediator.vmm_request(request)
+
+    def load_saved_bitmap(self):
+        """Generator: read a previously persisted bitmap, or ``None``."""
+        from repro.storage.blockdev import BlockOp, BlockRequest
+        lba = self.deployment.protected_lba
+        count = self.deployment.protected_sectors
+        request = BlockRequest(BlockOp.READ, lba, count, origin="vmm")
+        yield from self.machine.disk_controller.disk.execute(request)
+        for _, _, token in request.buffer.runs:
+            if (isinstance(token, tuple) and len(token) == 2
+                    and token[0] == self.BITMAP_TOKEN):
+                return token[1]
+        return None
+
+    def shutdown(self):
+        """Generator: graceful power-off mid-deployment.
+
+        Stops the copier, saves the bitmap to disk (paper 3.3's
+        shutdown/reboot case), and tears the VMM down so the machine can
+        power off.  A later VMM boot with ``resume=True`` continues from
+        the saved state instead of refetching filled blocks.
+        """
+        if self.phase != "deployment":
+            raise RuntimeError(f"cannot shut down from {self.phase!r}")
+        self.copier.stop()
+        # Let any in-flight mediation settle.
+        while not self.mediator.quiescent:
+            yield self.env.timeout(1e-3)
+        yield from self.persist_bitmap()
+        self.initiator.stop()
+        self.mediator.uninstall()
+        for cpu in self.machine.cpus:
+            cpu.npt.disable()
+            cpu.vmxoff()
+        self.machine.memory.release(self.reserved_region)
+        self.machine.set_condition(DEVIRT_CONDITION.with_(label="off"))
+        self._enter_phase("off")
+
+    def _build_mediator(self):
+        return mediator_for(self.env, self.machine, self.deployment)
+
+    # -- phase machine ------------------------------------------------------------------
+
+    def _enter_phase(self, phase: str) -> None:
+        self.phase = phase
+        self.phase_log.append((self.env.now, phase))
+        self.tracer.log("phase", f"entered {phase}")
+
+    def phase_at(self, time: float) -> str:
+        current = self.phase_log[0][1]
+        for stamp, phase in self.phase_log:
+            if stamp <= time:
+                current = phase
+            else:
+                break
+        return current
+
+    # -- initialization phase ---------------------------------------------------------------
+
+    def boot(self):
+        """Generator: the initialization phase.
+
+        The machine's firmware must already be initialized (the
+        provisioner network-boots the VMM).  Afterwards the guest may be
+        started; the deployment phase is active.
+        """
+        self._enter_phase("initialization")
+        # Tiny VMM, parallelized init: ~5 s total (paper 5.1), which
+        # covers PXE load, VMX setup, and NIC bring-up.
+        yield self.env.timeout(self.boot_seconds)
+
+        # Reserve VMM memory by carving the BIOS map (paper 3.4) and
+        # protect it with nested paging.
+        memory = self.machine.memory
+        reserve_start = memory.size_bytes - params.VMM_RESERVED_BYTES
+        self.reserved_region = memory.reserve(reserve_start,
+                                              params.VMM_RESERVED_BYTES)
+        for cpu in self.machine.cpus:
+            cpu.npt.protect(reserve_start, params.VMM_RESERVED_BYTES)
+            cpu.vmxon()
+            cpu.npt.enable()
+
+        # Install the device mediator (this also registers the MMIO trap
+        # ranges on the nested page tables) and enter the guest.
+        self.mediator.install()
+        for mediator in self.extra_mediators:
+            mediator.install()
+
+        if self.resume:
+            snapshot = yield from self.load_saved_bitmap()
+            if snapshot is not None:
+                self.bitmap.load_snapshot(snapshot)
+                self.resumed_from_disk = True
+
+        for cpu in self.machine.cpus:
+            cpu.vmenter()
+
+        self.initiator.start()
+        self.machine.set_condition(DEPLOY_CONDITION)
+        self._enter_phase("deployment")
+        self.copier.start()
+        if self.auto_devirtualize:
+            self._devirt_watcher = self.env.process(
+                self._watch_for_completion(), name="bmcast-devirt-watcher")
+
+    # -- deployment -> de-virtualization ---------------------------------------------------------
+
+    def _watch_for_completion(self):
+        yield self.copier.done
+        yield from self.devirtualize()
+
+    def devirtualize(self):
+        """Generator: run the de-virtualization phase now."""
+        if self.phase != "deployment":
+            raise RuntimeError(f"cannot de-virtualize from {self.phase!r}")
+        self._enter_phase("devirtualization")
+        self._account_polling_exits()
+        self.copier.stop()
+        yield from self.devirtualizer.run()
+        self.initiator.stop()
+        if self.release_memory:
+            # Memory hot-plug: hand the VMM's reservation back.
+            self.machine.memory.release(self.reserved_region)
+        self.machine.set_condition(DEVIRT_CONDITION)
+        self._enter_phase("baremetal")
+
+    def _account_polling_exits(self) -> None:
+        """Bulk-account the preemption-timer exits the polling threads
+        cost during deployment (kept out of the hot event loop)."""
+        deploy_start = next(stamp for stamp, phase in self.phase_log
+                            if phase == "deployment")
+        elapsed = self.env.now - deploy_start
+        if self.poll_interval > 0:
+            ticks = int(elapsed / self.poll_interval)
+            cpu = self.machine.boot_cpu
+            cpu.exit_counts[ExitReason.PREEMPTION_TIMER] += ticks
+            cpu.exit_seconds += ticks * params.VM_EXIT_SECONDS
+
+    # -- reporting ------------------------------------------------------------------------------
+
+    def summary(self) -> dict:
+        """Deployment metrics in one bundle."""
+        return {
+            "phase": self.phase,
+            "blocks_filled": self.copier.blocks_filled,
+            "bytes_written": self.copier.bytes_written,
+            "writeback_bytes": self.copier.writeback_bytes,
+            "redirected_reads": self.mediator.redirected_reads,
+            "redirected_bytes": self.deployment.redirected_bytes,
+            "multiplexed_requests": self.mediator.multiplexed_requests,
+            "queued_guest_commands": self.mediator.queued_guest_commands,
+            "interpreted_commands": self.mediator.interpreted_commands,
+            "retransmissions": self.initiator.retransmissions,
+            "deployment_seconds": self.copier.elapsed,
+            "total_vm_exits": self.machine.total_vm_exits(),
+        }

@@ -1,0 +1,285 @@
+"""Background copy: retriever and writer threads over a FIFO (paper 3.3).
+
+The retriever pulls empty blocks from the server (seek-affine order: it
+jumps next to wherever the guest last touched the disk); the writer pops
+the FIFO and writes blocks to the local disk through the device
+mediator's I/O multiplexing, paced by the moderation policy.  The writer
+also drains the copy-on-read write-back queue so redirected reads become
+local for free.
+
+Consistency is enforced by the block bitmap: the writer re-derives the
+writable sector runs *at write time*, so a guest write that raced the
+fetch is never overwritten.
+"""
+
+from __future__ import annotations
+
+from repro import params
+from repro.sim import Environment, Interrupt, Store
+from repro.storage.blockdev import BlockOp, BlockRequest, SectorBuffer
+from repro.vmm.deploy import DeploymentContext
+from repro.vmm.mediator import DeviceMediator
+from repro.vmm.moderation import ModerationPolicy
+
+
+class BackgroundCopier:
+    """Retriever + writer thread pair with a bounded FIFO between them."""
+
+    #: Idle poll granularity of the writer thread.
+    IDLE_POLL_SECONDS = 5e-3
+
+    def __init__(self, env: Environment, deployment: DeploymentContext,
+                 mediator: DeviceMediator,
+                 policy: ModerationPolicy | None = None,
+                 fifo_capacity: int = 4,
+                 prefetch_blocks=None):
+        self.env = env
+        self.deployment = deployment
+        self.mediator = mediator
+        self.policy = policy or ModerationPolicy()
+        self.fifo: Store = Store(env, capacity=fifo_capacity)
+        #: Blocks to copy first, exempt from moderation: the regions the
+        #: OS reads while booting (paper 3.3's prefetch optimization).
+        self.prefetch_blocks: list[int] = list(prefetch_blocks or ())
+        self._retriever = None
+        self._writer = None
+        #: Fires when the whole image is on the local disk.
+        self.done = env.event()
+        self._next_sequential_block = 0
+        # Metrics.
+        self.blocks_filled = 0
+        self.bytes_written = 0
+        self.writeback_bytes = 0
+        self.suspensions = 0
+        self.fetch_errors = 0
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def start(self):
+        if self._retriever is not None:
+            raise RuntimeError("copier already started")
+        self.started_at = self.env.now
+        self._retriever = self.env.process(self._retrieve_loop(),
+                                           name="copier-retriever")
+        self._writer = self.env.process(self._write_loop(),
+                                        name="copier-writer")
+        return self.done
+
+    def stop(self) -> None:
+        for process in (self._retriever, self._writer):
+            if process is not None and process.is_alive:
+                process.interrupt("stop")
+        self._retriever = None
+        self._writer = None
+
+    @property
+    def running(self) -> bool:
+        return self._writer is not None and self._writer.is_alive
+
+    # -- retriever thread ----------------------------------------------------------------
+
+    #: Backoff after a failed fetch (server unreachable) before retrying.
+    FETCH_RETRY_BACKOFF_SECONDS = 2.0
+
+    def _retrieve_loop(self):
+        from repro.aoe.client import AoeTimeoutError
+        bitmap = self.deployment.bitmap
+        try:
+            while not bitmap.complete:
+                block, is_prefetch = self._next_block()
+                if block is None:
+                    # Everything claimed or filled; let the writer drain.
+                    yield self.env.timeout(self.IDLE_POLL_SECONDS)
+                    continue
+                if not bitmap.try_claim(block):
+                    continue
+                start, count = bitmap.block_range(block)
+                try:
+                    runs = yield from \
+                        self.deployment.initiator.read_blocks(
+                            start, count, bulk=True)
+                except AoeTimeoutError:
+                    # Server unreachable: release the claim, back off,
+                    # and keep trying — a degraded deployment stalls,
+                    # it does not die (and resumes when the server is
+                    # back).
+                    bitmap.release_claim(block)
+                    self.fetch_errors += 1
+                    yield self.env.timeout(
+                        self.FETCH_RETRY_BACKOFF_SECONDS)
+                    continue
+                yield self.fifo.put((block, runs, is_prefetch))
+        except Interrupt:
+            return
+
+    def _next_block(self):
+        """(block, is_prefetch): prefetch list first, then normal order."""
+        bitmap = self.deployment.bitmap
+        while self.prefetch_blocks:
+            candidate = self.prefetch_blocks.pop(0)
+            if bitmap.state(candidate).value == "empty":
+                return candidate, True
+        return self._pick_block(), False
+
+    def _pick_block(self) -> int | None:
+        """Low-to-high LBA order, but jump next to the guest's last
+        access to minimize seeking (paper 3.3)."""
+        bitmap = self.deployment.bitmap
+        last_guest = self.deployment.last_guest_lba
+        if last_guest is not None:
+            preferred = bitmap.block_of(min(last_guest,
+                                            bitmap.image_sectors - 1))
+            self.deployment.last_guest_lba = None
+        else:
+            preferred = self._next_sequential_block
+        block = bitmap.first_empty_from(preferred)
+        if block is not None:
+            self._next_sequential_block = block + 1 \
+                if block + 1 < bitmap.block_count else 0
+        return block
+
+    # -- writer thread ---------------------------------------------------------------------
+
+    def _write_loop(self):
+        bitmap = self.deployment.bitmap
+        try:
+            while True:
+                # Copy-on-read write-backs take priority: they make the
+                # guest's own hot data local first.  They are moderated
+                # like any other VMM write — a boot's worth of queued
+                # write-backs must not starve the guest afterwards.
+                writeback = self.deployment.pop_writeback()
+                if writeback is not None:
+                    yield from self._moderate()
+                    yield from self._do_writeback(*writeback)
+                    continue
+                item = self.fifo.try_get()
+                if item is not None:
+                    block, runs, is_prefetch = item
+                    if not is_prefetch:
+                        # Prefetch blocks skip moderation: copying the
+                        # boot working set early IS the point.
+                        yield from self._moderate()
+                    yield from self._write_block(block, runs)
+                    continue
+                if bitmap.complete:
+                    break
+                yield self.env.timeout(self.IDLE_POLL_SECONDS)
+        except Interrupt:
+            return
+        self.finished_at = self.env.now
+        if not self.done.triggered:
+            self.done.succeed(self.env.now)
+
+    def _moderate(self):
+        """Paper 3.3's pacing rule, applied before each VMM write: if the
+        guest's I/O frequency exceeds the threshold, wait the (long)
+        suspend interval; otherwise wait the (short) write interval.  A
+        busy guest therefore still concedes one VMM write per suspend
+        interval — the residual interference Figure 10 measures."""
+        policy = self.policy
+        if policy.is_suspended(self.deployment):
+            self.suspensions += 1
+            yield self.env.timeout(policy.suspend_interval)
+        elif policy.write_interval > 0:
+            yield self.env.timeout(policy.write_interval)
+
+    def _write_block(self, block: int, runs: list):
+        bitmap = self.deployment.bitmap
+        if bitmap.state(block).value != "copying":
+            # The guest overwrote the whole block while we fetched it;
+            # its data is newer — drop ours.
+            return
+        start, count = bitmap.block_range(block)
+        request = BlockRequest(BlockOp.WRITE, start, count, origin="vmm")
+        request.buffer.runs = list(runs)
+
+        def revalidate(pending: BlockRequest) -> list:
+            # THE atomic check (paper 3.3), performed after the mediator
+            # owns the device: exclude everything the guest has written
+            # by now — no later guest write can reach the disk before
+            # ours anymore (it would be queued and replayed after).
+            if bitmap.state(block).value != "copying":
+                return []
+            clean: list = []
+            for run_start, run_count in bitmap.writable_runs(block):
+                clean.extend(_clip(runs, run_start, run_count))
+            return clean
+
+        yield from self.mediator.vmm_request(request, revalidate)
+        written = sum(end - begin for begin, end, _ in
+                      request.buffer.runs)
+        self.bytes_written += written * params.SECTOR_BYTES
+        try:
+            bitmap.commit_fill(block)
+            self.blocks_filled += 1
+            if self.blocks_filled % 256 == 0 or bitmap.complete:
+                self.deployment.tracer.log(
+                    "copy", "background copy progress",
+                    filled=bitmap.filled_count,
+                    total=bitmap.block_count)
+        except ValueError:
+            # Claim vanished mid-write (guest full-block write was queued
+            # and recorded): the guest's replayed write will land after
+            # ours, so the disk still converges to the newest data.
+            pass
+
+    def _do_writeback(self, lba: int, sector_count: int, runs: list):
+        """Persist data fetched by copy-on-read.
+
+        The same atomic rule applies: sectors in FILLED blocks (already
+        local, possibly guest-newest) and guest-dirty sectors are
+        excluded at write time, under device ownership.
+        """
+        bitmap = self.deployment.bitmap
+        request = BlockRequest(BlockOp.WRITE, lba, sector_count,
+                               origin="vmm")
+        request.buffer.runs = list(runs)
+
+        def revalidate(pending: BlockRequest) -> list:
+            clean: list = []
+            cursor = lba
+            end = lba + sector_count
+            while cursor < end:
+                block = bitmap.block_of(cursor)
+                block_end = min((block + 1) * bitmap.block_sectors, end)
+                if not bitmap.is_filled(block):
+                    for start, stop, value in bitmap.dirty.runs_in(
+                            cursor, block_end - cursor):
+                        if value is None:
+                            clean.extend(_clip(runs, start, stop - start))
+                cursor = block_end
+            return clean
+
+        yield from self.mediator.vmm_request(request, revalidate)
+        written = sum(end - begin for begin, end, _ in
+                      request.buffer.runs)
+        self.writeback_bytes += written * params.SECTOR_BYTES
+
+    # -- reporting ------------------------------------------------------------------------------
+
+    @property
+    def elapsed(self) -> float | None:
+        if self.started_at is None:
+            return None
+        end = self.finished_at if self.finished_at is not None \
+            else self.env.now
+        return end - self.started_at
+
+    def write_rate(self) -> float:
+        """Average VMM write throughput so far, bytes/second."""
+        elapsed = self.elapsed
+        if not elapsed:
+            return 0.0
+        return (self.bytes_written + self.writeback_bytes) / elapsed
+
+
+def _clip(runs: list, start: int, count: int) -> list:
+    end = start + count
+    return [
+        (max(run_start, start), min(run_end, end), token)
+        for run_start, run_end, token in runs
+        if run_start < end and run_end > start
+    ]

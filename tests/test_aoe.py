@@ -1,0 +1,278 @@
+"""Tests for the extended AoE protocol: fragmentation, client, server."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import params
+from repro.aoe.client import AoeInitiator, AoeTimeoutError
+from repro.aoe.protocol import (
+    ReassemblyBuffer,
+    fragment_count,
+    sectors_per_frame,
+    split_read_reply,
+)
+from repro.aoe.server import AoeServer, ImageStore
+from repro.net import EthernetSwitch, LossModel, Nic
+from repro.sim import Environment
+from repro.util.intervalmap import IntervalMap
+
+
+# -- protocol fragmentation -------------------------------------------------------
+
+def test_sectors_per_frame_jumbo_vs_standard():
+    jumbo = sectors_per_frame(params.GBE_MTU)
+    standard = sectors_per_frame(params.ETH_MTU_STANDARD)
+    assert jumbo == 17
+    assert standard == 2
+
+
+def test_sectors_per_frame_too_small_mtu():
+    with pytest.raises(ValueError):
+        sectors_per_frame(256)
+
+
+def test_fragment_count():
+    assert fragment_count(1, params.GBE_MTU) == 1
+    assert fragment_count(17, params.GBE_MTU) == 1
+    assert fragment_count(18, params.GBE_MTU) == 2
+    assert fragment_count(2048, params.GBE_MTU) == 121
+
+
+def test_split_and_reassemble_roundtrip():
+    runs = [(0, 10, "a"), (10, 40, "b"), (40, 64, None)]
+    fragments = split_read_reply(tag=7, lba=0, runs=runs, mtu=params.GBE_MTU)
+    buffer = ReassemblyBuffer(7)
+    for fragment in reversed(fragments):  # out-of-order arrival
+        buffer.add(fragment)
+    assert buffer.complete
+    assembled = buffer.assemble()
+    # Reassembly must cover the same sectors with the same tokens.
+    flat = {}
+    for start, end, token in assembled:
+        for key in range(start, end):
+            flat[key] = token
+    for key in range(64):
+        expected = "a" if key < 10 else ("b" if key < 40 else None)
+        assert flat[key] == expected
+
+
+def test_reassembly_duplicate_fragments_idempotent():
+    runs = [(0, 34, "x")]
+    fragments = split_read_reply(tag=1, lba=0, runs=runs, mtu=params.GBE_MTU)
+    buffer = ReassemblyBuffer(1)
+    buffer.add(fragments[0])
+    buffer.add(fragments[0])
+    assert not buffer.complete
+    buffer.add(fragments[1])
+    assert buffer.complete
+
+
+def test_reassembly_wrong_tag_rejected():
+    runs = [(0, 2, "x")]
+    [fragment] = split_read_reply(tag=1, lba=0, runs=runs, mtu=9000)
+    buffer = ReassemblyBuffer(2)
+    with pytest.raises(ValueError):
+        buffer.add(fragment)
+
+
+def test_incomplete_assemble_rejected():
+    buffer = ReassemblyBuffer(1)
+    with pytest.raises(ValueError):
+        buffer.assemble()
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(1, 500), st.integers(0, 1000),
+       st.sampled_from([1500, 4000, 9000]))
+def test_fragments_tile_exactly(sector_count, lba, mtu):
+    """Fragments must cover [lba, lba+n) exactly once, in order."""
+    runs = [(lba, lba + sector_count, "t")]
+    fragments = split_read_reply(tag=0, lba=lba, runs=runs, mtu=mtu)
+    assert len(fragments) == fragment_count(sector_count, mtu)
+    cursor = lba
+    for fragment in fragments:
+        assert fragment.lba == cursor
+        assert fragment.sector_count >= 1
+        assert fragment.payload_bytes <= mtu
+        cursor += fragment.sector_count
+    assert cursor == lba + sector_count
+
+
+# -- client/server end-to-end ----------------------------------------------------------
+
+def make_aoe(loss=0.0, workers=8, mtu=None, poll_interval=0.0, seed=7):
+    env = Environment()
+    kwargs = {}
+    if mtu is not None:
+        kwargs["mtu"] = mtu
+    switch = EthernetSwitch(env, loss=LossModel(loss, seed=seed), **kwargs)
+    client_nic = Nic(env, switch, "vmm0")
+    server_nic = Nic(env, switch, "server", rx_ring_size=4096)
+    image = IntervalMap()
+    image.set_range(0, 1 << 20, ("img", 0))
+    store = ImageStore(env, image, image_sectors=1 << 20)
+    server = AoeServer(env, server_nic, store, workers=workers)
+    server.start()
+    client = AoeInitiator(env, client_nic, "server",
+                          poll_interval=poll_interval)
+    client.start()
+    return env, client, server, store
+
+
+def run(env, generator):
+    return env.run(until=env.process(generator))
+
+
+def test_read_returns_image_runs():
+    env, client, server, store = make_aoe()
+
+    def proc():
+        runs = yield from client.read_blocks(100, 64)
+        return runs
+
+    runs = run(env, proc())
+    assert runs == [(100, 164, ("img", 0))]
+    assert client.reads_completed == 1
+    assert server.commands_served == 1
+
+
+def test_large_read_fragments_on_wire():
+    env, client, server, store = make_aoe()
+    sectors = 2048  # 1 MB
+
+    def proc():
+        runs = yield from client.read_blocks(0, sectors)
+        return runs
+
+    runs = run(env, proc())
+    assert runs[0][2] == ("img", 0)
+    assert server.fragments_sent == fragment_count(sectors, params.GBE_MTU)
+
+
+def test_read_throughput_near_line_rate():
+    """Bulk reads with jumbo frames should achieve most of gigabit."""
+    env, client, server, store = make_aoe()
+    total_mb = 64
+
+    def proc():
+        for block in range(total_mb):
+            yield from client.read_blocks(block * 2048, 2048)
+
+    run(env, proc())
+    throughput = total_mb * 2**20 / env.now
+    assert throughput > 80e6  # > 80 MB/s over GbE
+
+
+def test_standard_mtu_slower_than_jumbo():
+    def elapsed_for(mtu):
+        env, client, server, store = make_aoe(mtu=mtu)
+
+        def proc():
+            for block in range(8):
+                yield from client.read_blocks(block * 2048, 2048)
+
+        run(env, proc())
+        return env.now
+
+    assert elapsed_for(1500) > elapsed_for(9000)
+
+
+def test_retransmission_recovers_from_loss():
+    env, client, server, store = make_aoe(loss=0.05, seed=3)
+
+    def proc():
+        for block in range(20):
+            runs = yield from client.read_blocks(block * 1024, 1024)
+            assert runs[0][2] == ("img", 0)
+
+    run(env, proc())
+    assert client.retransmissions > 0
+    assert client.reads_completed == 20
+
+
+def test_heavy_loss_eventually_gives_up():
+    env, client, server, store = make_aoe(loss=0.95, seed=11)
+
+    def proc():
+        yield from client.read_blocks(0, 2048)
+
+    with pytest.raises(AoeTimeoutError):
+        run(env, proc())
+
+
+def test_write_blocks_stores_on_server():
+    env, client, server, store = make_aoe()
+
+    def proc():
+        yield from client.write_blocks(50, 10, [(50, 60, "written")])
+
+    run(env, proc())
+    assert store.contents.get(55) == "written"
+    assert client.writes_completed == 1
+
+
+def test_rtt_estimator_converges():
+    env, client, server, store = make_aoe()
+
+    def proc():
+        for _ in range(30):
+            yield from client.read_blocks(0, 17)
+
+    run(env, proc())
+    # One-fragment read over an idle switch: sub-millisecond RTT.
+    assert 0 < client.srtt < 2e-3
+    assert client.rto >= client.min_rto
+
+
+def test_poll_interval_adds_latency():
+    def mean_latency(poll_interval):
+        env, client, server, store = make_aoe(poll_interval=poll_interval)
+        samples = []
+
+        def proc():
+            for _ in range(10):
+                start = env.now
+                yield from client.read_blocks(0, 17)
+                samples.append(env.now - start)
+
+        run(env, proc())
+        return sum(samples) / len(samples)
+
+    fast = mean_latency(0.0)
+    slow = mean_latency(1e-3)
+    assert slow > fast
+    assert slow - fast == pytest.approx(0.5e-3, rel=0.3)
+
+
+def test_single_threaded_vblade_bottlenecks():
+    """Stock vblade (1 worker) serves concurrent reads slower than the
+    thread-pool version (paper 4.2)."""
+    def elapsed_for(workers):
+        env, client, server, store = make_aoe(workers=workers)
+        procs = []
+
+        def reader(base):
+            for block in range(4):
+                yield from client.read_blocks(base + block * 2048, 2048)
+
+        for stream in range(6):
+            procs.append(env.process(reader(stream * 100000)))
+        env.run()
+        return env.now
+
+    single = elapsed_for(1)
+    pooled = elapsed_for(8)
+    assert single > pooled * 1.1
+
+
+def test_server_stop_terminates_cleanly():
+    env, client, server, store = make_aoe()
+
+    def proc():
+        yield from client.read_blocks(0, 17)
+
+    run(env, proc())
+    server.stop()
+    client.stop()
+    env.run()

@@ -1,0 +1,318 @@
+"""Tests for the application workload models."""
+
+import pytest
+
+from repro import params
+from repro.apps.fio import FioBenchmark, IopingBenchmark
+from repro.apps.kernbench import KernbenchRun
+from repro.apps.kvstore import CASSANDRA, MEMCACHED, KvStoreServer
+from repro.apps.mpi import COLLECTIVES, MpiCluster
+from repro.apps.perftest import RdmaPerfTest
+from repro.apps.sysbench import MemoryBenchmark, ThreadBenchmark
+from repro.apps.ycsb import READ_HEAVY, WRITE_HEAVY, YcsbBenchmark
+from repro.cloud.provisioner import Provisioner
+from repro.cloud.scenario import build_testbed
+from repro.guest.osimage import OsImage
+
+MB = 2**20
+
+
+def deploy(method, node_count=1, with_infiniband=False, image=None):
+    testbed = build_testbed(node_count=node_count,
+                            with_infiniband=with_infiniband, image=image)
+    provisioner = Provisioner(testbed)
+    env = testbed.env
+    instances = []
+
+    def scenario():
+        for index in range(node_count):
+            instance = yield from provisioner.deploy(
+                method, node_index=index, skip_firmware=True)
+            instances.append(instance)
+
+    env.run(until=env.process(scenario()))
+    return testbed, instances
+
+
+def run(env, generator):
+    return env.run(until=env.process(generator))
+
+
+# -- kvstore + ycsb -------------------------------------------------------------
+
+def test_memcached_baremetal_matches_calibration():
+    testbed, [instance] = deploy("baremetal")
+    store = KvStoreServer(instance, MEMCACHED)
+    bench = YcsbBenchmark(store, READ_HEAVY)
+
+    def proc():
+        yield from bench.run(60.0)
+
+    run(testbed.env, proc())
+    assert bench.mean_throughput() == pytest.approx(MEMCACHED.base_tps,
+                                                    rel=0.02)
+    assert bench.mean_latency() == pytest.approx(MEMCACHED.base_latency,
+                                                 rel=0.02)
+
+
+def test_cassandra_does_real_disk_flushes():
+    testbed, [instance] = deploy("baremetal")
+    store = KvStoreServer(instance, CASSANDRA)
+    bench = YcsbBenchmark(store, WRITE_HEAVY)
+
+    def proc():
+        yield from bench.run(30.0)
+
+    run(testbed.env, proc())
+    assert store.flush_ops > 0
+    assert store.flush_seconds_total > 0
+    # The flushes really landed on the disk.
+    assert testbed.node.disk.contents.get(store.data_lba) is not None
+
+
+def test_ycsb_records_time_series():
+    testbed, [instance] = deploy("baremetal")
+    store = KvStoreServer(instance, MEMCACHED)
+    bench = YcsbBenchmark(store, READ_HEAVY, window=5.0)
+
+    def proc():
+        yield from bench.run(30.0)
+
+    run(testbed.env, proc())
+    assert len(bench.throughput) == 6
+    assert len(bench.latency) == 6
+
+
+def test_ycsb_write_fraction_validated():
+    testbed, [instance] = deploy("baremetal")
+    store = KvStoreServer(instance, MEMCACHED)
+    with pytest.raises(ValueError):
+        YcsbBenchmark(store, 1.5)
+
+
+def test_kvstore_slower_on_kvm_than_baremetal():
+    def tp(method):
+        testbed, [instance] = deploy(method)
+        store = KvStoreServer(instance, MEMCACHED)
+        bench = YcsbBenchmark(store, READ_HEAVY)
+
+        def proc():
+            yield from bench.run(30.0)
+
+        run(testbed.env, proc())
+        return bench.mean_throughput()
+
+    assert tp("kvm-local") < tp("baremetal")
+
+
+# -- sysbench ------------------------------------------------------------------------
+
+def test_threads_lhp_explodes_on_kvm():
+    testbed, [bare] = deploy("baremetal")
+    testbed2, [kvm] = deploy("kvm-local")
+
+    def measure(instance, threads):
+        bench = ThreadBenchmark(instance)
+
+        def proc():
+            return (yield from bench.run(threads))
+
+        return run(instance.env, proc())
+
+    bare_24 = measure(bare, 24)
+    kvm_24 = measure(kvm, 24)
+    kvm_2 = measure(kvm, 2)
+    bare_2 = measure(bare, 2)
+    # Paper Fig. 8: +68% at 24 threads, negligible at low counts.
+    assert kvm_24 / bare_24 == pytest.approx(1.68, abs=0.08)
+    assert kvm_2 / bare_2 < 1.1
+
+
+def test_threads_validation():
+    testbed, [instance] = deploy("baremetal")
+    bench = ThreadBenchmark(instance)
+    with pytest.raises(ValueError):
+        run(testbed.env, bench.run(0))
+
+
+def test_memory_bench_kvm_overhead_peaks_at_16kb():
+    testbed, [bare] = deploy("baremetal")
+    testbed2, [kvm] = deploy("kvm-local")
+
+    def measure(instance, block_kb):
+        bench = MemoryBenchmark(instance)
+
+        def proc():
+            return (yield from bench.run(block_kb))
+
+        return run(instance.env, proc())
+
+    ratio_16 = measure(bare, 16) / measure(kvm, 16)
+    ratio_1 = measure(bare, 1) / measure(kvm, 1)
+    # Paper Fig. 9: 35% at 16 KB, smaller at 1 KB.
+    assert ratio_16 == pytest.approx(1.35, abs=0.05)
+    assert ratio_1 < ratio_16
+
+
+# -- kernbench -------------------------------------------------------------------------
+
+def test_kernbench_baremetal_near_16s():
+    testbed, [instance] = deploy("baremetal")
+    kb = KernbenchRun(instance)
+
+    def proc():
+        return (yield from kb.run())
+
+    elapsed = run(testbed.env, proc())
+    assert elapsed == pytest.approx(16.0, rel=0.1)
+
+
+def test_kernbench_overhead_ordering():
+    """Figure 7: deploy > KVM > devirt == baremetal."""
+    def measure(method):
+        testbed, [instance] = deploy(method)
+        kb = KernbenchRun(instance)
+
+        def proc():
+            return (yield from kb.run())
+
+        return run(testbed.env, proc())
+
+    bare = measure("baremetal")
+    kvm = measure("kvm-local")
+    bmcast_deploy = measure("bmcast")
+    assert bmcast_deploy > kvm > bare
+    assert bmcast_deploy / bare < 1.15
+
+
+# -- fio / ioping -----------------------------------------------------------------------
+
+def test_fio_baremetal_throughput_near_disk_rate():
+    testbed, [instance] = deploy("baremetal")
+    fio = FioBenchmark(instance)
+
+    def proc():
+        yield from fio.layout()
+        read_bw = yield from fio.read_throughput()
+        write_bw = yield from fio.write_throughput()
+        return read_bw, write_bw
+
+    read_bw, write_bw = run(testbed.env, proc())
+    assert read_bw == pytest.approx(params.DISK_READ_BW, rel=0.05)
+    assert write_bw == pytest.approx(params.DISK_WRITE_BW, rel=0.05)
+
+
+def test_ioping_latency_small_on_baremetal():
+    testbed, [instance] = deploy("baremetal")
+    ioping = IopingBenchmark(instance)
+
+    def proc():
+        yield from ioping.layout()
+        return (yield from ioping.run())
+
+    latency = run(testbed.env, proc())
+    # Rotational disk, random 4-KB reads: a few milliseconds.
+    assert 1e-3 < latency < 8e-3
+    assert len(ioping.latencies) == IopingBenchmark.REQUESTS
+
+
+def test_ioping_deploy_adds_milliseconds():
+    """Figure 11: the deploy phase adds ~4 ms to small-read latency."""
+    def measure(method):
+        testbed, [instance] = deploy(method)
+        ioping = IopingBenchmark(instance)
+
+        def proc():
+            yield from ioping.layout()
+            return (yield from ioping.run())
+
+        return run(testbed.env, proc())
+
+    bare = measure("baremetal")
+    deploying = measure("bmcast")
+    assert deploying > bare
+    assert 1e-3 < deploying - bare < 12e-3
+
+
+# -- MPI / perftest ------------------------------------------------------------------------
+
+def small_image():
+    return OsImage(size_bytes=32 * MB, boot_read_bytes=2 * MB,
+                   boot_think_seconds=0.5)
+
+
+def test_mpi_needs_two_nodes_with_ib():
+    testbed, instances = deploy("baremetal", node_count=1,
+                                with_infiniband=True, image=small_image())
+    with pytest.raises(ValueError):
+        MpiCluster(instances)
+
+
+def test_mpi_collectives_run_and_scale():
+    testbed, instances = deploy("baremetal", node_count=4,
+                                with_infiniband=True, image=small_image())
+    cluster = MpiCluster(instances)
+    results = {}
+
+    def proc():
+        for collective in COLLECTIVES:
+            results[collective] = yield from cluster.measure(
+                collective, message_bytes=1024, iterations=5)
+
+    run(testbed.env, proc())
+    for collective, latency in results.items():
+        assert latency > 0
+    # Allgather (N-1 rounds) costs more than barrier (log N tiny hops).
+    assert results["allgather"] > results["barrier"]
+
+
+def test_mpi_kvm_latency_tax():
+    def measure(method):
+        testbed, instances = deploy(method, node_count=4,
+                                    with_infiniband=True,
+                                    image=small_image())
+        cluster = MpiCluster(instances)
+
+        def proc():
+            return (yield from cluster.measure("allgather", 8,
+                                               iterations=5))
+
+        return run(testbed.env, proc())
+
+    bare = measure("baremetal")
+    kvm = measure("kvm-local")
+    assert kvm / bare > 1.5  # paper Fig. 6: up to 2.35x
+
+
+def test_rdma_bandwidth_saturates_for_all_platforms():
+    """Figure 12: no throughput difference (pipelined hardware)."""
+    rates = {}
+    for method in ("baremetal", "kvm-local"):
+        testbed, instances = deploy(method, node_count=2,
+                                    with_infiniband=True,
+                                    image=small_image())
+        test = RdmaPerfTest(instances[0], instances[1])
+
+        def proc():
+            return (yield from test.bandwidth())
+
+        rates[method] = run(testbed.env, proc())
+    assert rates["kvm-local"] == pytest.approx(rates["baremetal"],
+                                               rel=0.02)
+
+
+def test_rdma_latency_taxed_on_kvm():
+    """Figure 13: KVM latency +23.6%, bare metal reference."""
+    latencies = {}
+    for method in ("baremetal", "kvm-local"):
+        testbed, instances = deploy(method, node_count=2,
+                                    with_infiniband=True,
+                                    image=small_image())
+        test = RdmaPerfTest(instances[0], instances[1])
+
+        def proc():
+            return (yield from test.latency(message_bytes=8))
+
+        latencies[method] = run(testbed.env, proc())
+    ratio = latencies["kvm-local"] / latencies["baremetal"]
+    assert ratio == pytest.approx(1.236, abs=0.03)  # paper: +23.6%

@@ -1,0 +1,184 @@
+"""Tests for deployment baselines and the provisioner API."""
+
+import pytest
+
+from repro import params
+from repro.baselines.os_streaming import OsNotSupportedError
+from repro.cloud.provisioner import Provisioner
+from repro.cloud.scenario import build_testbed
+from repro.guest.osimage import OsImage
+
+MB = 2**20
+
+
+def small_image(size_mb=32, name="ubuntu-14.04"):
+    return OsImage(name=name, size_bytes=size_mb * MB,
+                   boot_read_bytes=2 * MB, boot_think_seconds=1.0)
+
+
+def make(image=None, **kwargs):
+    testbed = build_testbed(image=image or small_image(), **kwargs)
+    return testbed, Provisioner(testbed)
+
+
+def deploy(testbed, provisioner, method, **kwargs):
+    env = testbed.env
+    process = env.process(provisioner.deploy(method, **kwargs))
+    return env.run(until=process)
+
+
+def test_unknown_method_rejected():
+    testbed, provisioner = make()
+
+    def proc():
+        yield from provisioner.deploy("carrier-pigeon")
+
+    with pytest.raises(ValueError):
+        testbed.env.run(until=testbed.env.process(proc()))
+
+
+def test_baremetal_reference_timing():
+    testbed, provisioner = make()
+    instance = deploy(testbed, provisioner, "baremetal")
+    assert instance.method == "baremetal"
+    assert instance.guest.booted
+    # Firmware + OS boot only.
+    labels = [label for label, _ in instance.timeline.segments]
+    assert labels == ["firmware init", "OS boot"]
+    firmware = dict(instance.timeline.segments)["firmware init"]
+    assert firmware == pytest.approx(params.FIRMWARE_INIT_SECONDS)
+
+
+def test_bmcast_deploy_via_provisioner():
+    testbed, provisioner = make()
+    instance = deploy(testbed, provisioner, "bmcast")
+    assert instance.platform.phase in ("deployment", "baremetal")
+    labels = [label for label, _ in instance.timeline.segments]
+    assert "VMM boot" in labels
+    vmm_boot = dict(instance.timeline.segments)["VMM boot"]
+    assert vmm_boot == pytest.approx(params.BMCAST_VMM_BOOT_SECONDS + 2.0,
+                                     abs=1.0)
+
+
+def test_image_copy_slowest_and_pays_firmware_twice():
+    testbed, provisioner = make()
+    instance = deploy(testbed, provisioner, "image-copy")
+    machine = testbed.node.machine
+    assert machine.firmware.init_count == 2
+    segments = dict(instance.timeline.segments)
+    assert "image transfer" in segments
+    assert segments["restart (firmware again)"] \
+        >= params.FIRMWARE_INIT_SECONDS
+    # The disk now holds the image.
+    assert testbed.image.verify_deployed(testbed.node.disk.contents)
+
+
+def test_image_copy_transfer_rate_near_line_rate():
+    testbed, provisioner = make(image=small_image(256))
+    instance = deploy(testbed, provisioner, "image-copy")
+    rate = instance.platform.transfer_rate
+    # Gigabit-limited (paper: ~100 MB/s).
+    assert 80e6 < rate < 125e6
+
+
+def test_network_boot_fast_but_leaves_disk_empty():
+    testbed, provisioner = make()
+    instance = deploy(testbed, provisioner, "network-boot")
+    assert instance.platform.booted
+    assert testbed.node.disk.contents.total_covered() == 0
+
+    def use():
+        runs = yield from instance.read(100, 8)
+        return runs
+
+    runs = testbed.env.run(until=testbed.env.process(use()))
+    assert runs[0][2] == (testbed.image.name, 0)
+
+
+def test_network_boot_writes_stay_remote_and_read_back():
+    testbed, provisioner = make()
+    instance = deploy(testbed, provisioner, "network-boot")
+
+    def use():
+        yield from instance.write(50, 4, tag="t")
+        runs = yield from instance.read(50, 4)
+        return runs
+
+    runs = testbed.env.run(until=testbed.env.process(use()))
+    assert runs[0][2][0] == "netboot"
+
+
+@pytest.mark.parametrize("backend", ["kvm-nfs", "kvm-iscsi"])
+def test_kvm_network_backends_boot_times(backend):
+    testbed, provisioner = make()
+    instance = deploy(testbed, provisioner, backend, skip_firmware=True)
+    segments = dict(instance.timeline.segments)
+    assert segments["KVM boot"] == pytest.approx(params.KVM_BOOT_SECONDS)
+    expected = params.KVM_GUEST_BOOT_NFS_SECONDS if backend == "kvm-nfs" \
+        else params.KVM_GUEST_BOOT_ISCSI_SECONDS
+    # PXE load of the hypervisor adds a couple of seconds.
+    assert segments["guest OS boot"] == pytest.approx(expected, abs=3.0)
+    condition = instance.condition
+    assert condition.lock_holder_preemption
+    assert condition.nested_paging
+
+
+def test_kvm_local_virtio_penalty():
+    testbed, provisioner = make()
+    instance = deploy(testbed, provisioner, "kvm-local",
+                      skip_firmware=True)
+    env = testbed.env
+    nbytes = 64 * MB
+    sectors = nbytes // params.SECTOR_BYTES
+
+    def use():
+        start = env.now
+        yield from instance.read(0, sectors)
+        return nbytes / (env.now - start)
+
+    throughput = env.run(until=env.process(use()))
+    expected = params.DISK_READ_BW \
+        * (1 - params.KVM_STORAGE_READ_OVERHEAD_LOCAL)
+    assert throughput == pytest.approx(expected, rel=0.05)
+
+
+def test_os_streaming_deploys_in_background():
+    testbed, provisioner = make(image=small_image(16))
+    instance = deploy(testbed, provisioner, "os-streaming")
+    model = instance.platform
+    testbed.env.run(until=model.done)
+    assert model.bitmap.complete
+    assert testbed.image.verify_deployed(testbed.node.disk.contents,
+                                         model.written)
+
+
+def test_os_streaming_rejects_unsupported_os():
+    testbed, provisioner = make(image=small_image(16, name="windows-8.1"))
+
+    def proc():
+        yield from provisioner.deploy("os-streaming")
+
+    with pytest.raises(OsNotSupportedError):
+        testbed.env.run(until=testbed.env.process(proc()))
+
+
+def test_startup_ordering_matches_figure4():
+    """The headline shape on a small image: BMcast far faster than image
+    copy, KVM in the same ballpark as BMcast.  (The paper-scale ordering,
+    including network boot, is reproduced by the Figure 4 bench.)"""
+    times = {}
+    for method in ("bmcast", "image-copy", "kvm-nfs"):
+        testbed, provisioner = make()
+        instance = deploy(testbed, provisioner, method,
+                          skip_firmware=True)
+        times[method] = instance.timeline.total
+    assert times["bmcast"] < times["kvm-nfs"] + 60  # same ballpark
+    assert times["image-copy"] > 4 * times["bmcast"]
+
+
+def test_skip_firmware_flag():
+    testbed, provisioner = make()
+    instance = deploy(testbed, provisioner, "baremetal",
+                      skip_firmware=True)
+    segments = dict(instance.timeline.segments)
+    assert segments["firmware init"] == 0.0

@@ -1,0 +1,64 @@
+"""Calibration regression pins.
+
+These run the paper-scale headline experiments and pin the measured
+values to the bands EXPERIMENTS.md reports, so a refactor that silently
+shifts the reproduction gets caught here rather than in the benches.
+"""
+
+import pytest
+
+from repro.cloud.provisioner import Provisioner
+from repro.cloud.scenario import build_testbed
+
+
+def deploy(method, **kwargs):
+    testbed = build_testbed(**kwargs)
+    provisioner = Provisioner(testbed)
+    env = testbed.env
+    instance = env.run(until=env.process(
+        provisioner.deploy(method, skip_firmware=True)))
+    return testbed, instance
+
+
+def test_bmcast_startup_near_paper_63s():
+    testbed, instance = deploy("bmcast")
+    # Paper: 63 s (5 s VMM + 58 s boot); ours includes 2 s PXE.
+    assert 55.0 < instance.timeline.total < 72.0
+    vmm = instance.platform
+    # Paper 5.1: only ~72 MB transferred during boot.
+    assert vmm.deployment.redirected_bytes == pytest.approx(72 * 2**20,
+                                                            rel=0.1)
+
+
+def test_guest_boot_near_paper_58s():
+    testbed, instance = deploy("bmcast")
+    assert 48.0 < instance.guest.boot_seconds < 64.0
+
+
+def test_idle_deployment_minutes_at_paper_scale():
+    testbed, instance = deploy("bmcast")
+    env = testbed.env
+    vmm = instance.platform
+    env.run(until=vmm.copier.done)
+    # Idle-guest deployment of 32 GB with default moderation: paper's
+    # loaded runs took 16-17 min; idle is faster.  Pin the band.
+    minutes = vmm.copier.elapsed / 60.0
+    assert 8.0 < minutes < 16.0
+
+
+def test_zero_exits_after_devirt_at_paper_scale():
+    testbed, instance = deploy("bmcast")
+    env = testbed.env
+    vmm = instance.platform
+    env.run(until=vmm.copier.done)
+    env.run(until=env.now + 10.0)
+    machine = instance.machine
+    before = machine.total_vm_exits()
+
+    def post_devirt_io():
+        for index in range(10):
+            yield from instance.read(index * 1024, 256)
+
+    env.run(until=env.process(post_devirt_io()))
+    assert machine.total_vm_exits() == before
+    assert vmm.phase == "baremetal"

@@ -1,0 +1,66 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "PRIMERGY" in out
+    assert "116.6" in out
+
+
+def test_deploy_bmcast(capsys):
+    assert main(["deploy", "--method", "bmcast", "--image-gb", "0.25"]) \
+        == 0
+    out = capsys.readouterr().out
+    assert "instance ready after" in out
+    assert "VMM boot" in out
+
+
+def test_deploy_wait_reaches_baremetal(capsys):
+    assert main(["deploy", "--method", "bmcast", "--image-gb", "0.125",
+                 "--wait"]) == 0
+    out = capsys.readouterr().out
+    assert "phase=baremetal" in out
+    assert "blocks_filled" in out
+
+
+def test_deploy_with_prefetch(capsys):
+    assert main(["deploy", "--method", "bmcast", "--image-gb", "0.25",
+                 "--prefetch"]) == 0
+    out = capsys.readouterr().out
+    assert "instance ready after" in out
+
+
+def test_deploy_baremetal_cold(capsys):
+    assert main(["deploy", "--method", "baremetal", "--image-gb", "0.125",
+                 "--cold"]) == 0
+    out = capsys.readouterr().out
+    assert "firmware init 133s" in out
+
+
+def test_deploy_other_controllers(capsys):
+    for controller in ("ide", "megaraid"):
+        assert main(["deploy", "--method", "bmcast",
+                     "--image-gb", "0.125",
+                     "--controller", controller]) == 0
+
+
+def test_compare(capsys):
+    assert main(["compare", "--image-gb", "0.25"]) == 0
+    out = capsys.readouterr().out
+    for method in ("bmcast", "image-copy", "network-boot", "kvm-nfs"):
+        assert method in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_unknown_method_rejected():
+    with pytest.raises(SystemExit):
+        main(["deploy", "--method", "smoke-signals"])

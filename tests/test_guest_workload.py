@@ -1,0 +1,98 @@
+"""Tests for the generic guest disk workloads."""
+
+import pytest
+
+from repro import params
+from repro.cloud.provisioner import Provisioner
+from repro.cloud.scenario import build_testbed
+from repro.guest.osimage import OsImage
+from repro.guest.workload import (
+    MixedWorkload,
+    RandomReader,
+    SequentialReader,
+    SequentialWriter,
+)
+
+MB = 2**20
+
+
+def deploy(method="baremetal"):
+    image = OsImage(size_bytes=64 * MB, boot_read_bytes=2 * MB,
+                    boot_think_seconds=0.5)
+    testbed = build_testbed(image=image)
+    provisioner = Provisioner(testbed)
+    env = testbed.env
+    instance = env.run(until=env.process(
+        provisioner.deploy(method, skip_firmware=True)))
+    return testbed, instance
+
+
+def run(env, generator):
+    return env.run(until=env.process(generator))
+
+
+def test_sequential_reader_hits_disk_rate():
+    testbed, instance = deploy()
+    reader = SequentialReader(instance, lba=0, total_bytes=32 * MB)
+    rate = run(testbed.env, reader.run())
+    assert rate == pytest.approx(params.DISK_READ_BW, rel=0.05)
+    assert reader.requests == 32
+    assert reader.bytes_moved == 32 * MB
+
+
+def test_sequential_writer_hits_disk_rate():
+    testbed, instance = deploy()
+    writer = SequentialWriter(instance, lba=0, total_bytes=32 * MB)
+    rate = run(testbed.env, writer.run())
+    assert rate == pytest.approx(params.DISK_WRITE_BW, rel=0.05)
+    # The data really landed.
+    assert testbed.node.disk.contents.get(100) is not None
+
+
+def test_random_reader_latency_rotational():
+    testbed, instance = deploy()
+    span = 32 * MB // params.SECTOR_BYTES
+    reader = RandomReader(instance, lba=0, span_sectors=span, requests=50)
+    latency = run(testbed.env, reader.run())
+    # Random 4-KB reads on a 7200-rpm disk: a few ms.
+    assert 1e-3 < latency < 12e-3
+    assert len(reader.latency) == 50
+
+
+def test_mixed_workload_rate_and_mix():
+    testbed, instance = deploy()
+    span = 32 * MB // params.SECTOR_BYTES
+    workload = MixedWorkload(instance, lba=0, span_sectors=span,
+                             rate=40.0, read_fraction=0.75)
+    run(testbed.env, workload.run(5.0))
+    total = workload.reads + workload.writes
+    assert total == pytest.approx(40 * 5, rel=0.15)
+    assert workload.reads / total == pytest.approx(0.75, abs=0.12)
+    assert workload.throughput > 0
+
+
+def test_mixed_workload_validation():
+    testbed, instance = deploy()
+    with pytest.raises(ValueError):
+        MixedWorkload(instance, 0, 100, read_fraction=1.5)
+    with pytest.raises(ValueError):
+        MixedWorkload(instance, 0, 100, rate=0)
+
+
+def test_throughput_before_run_rejected():
+    testbed, instance = deploy()
+    reader = SequentialReader(instance, 0, MB)
+    with pytest.raises(ValueError):
+        _ = reader.throughput
+
+
+def test_workload_on_deploying_instance():
+    """Workloads run against a BMcast instance mid-deployment too."""
+    testbed, instance = deploy("bmcast")
+    span = 16 * MB // params.SECTOR_BYTES
+    workload = MixedWorkload(instance, lba=0, span_sectors=span,
+                             rate=30.0, read_fraction=0.5)
+    run(testbed.env, workload.run(3.0))
+    assert workload.reads + workload.writes > 0
+    # Reads during deployment still returned (redirected or local).
+    assert workload.mean_latency > 0

@@ -1,0 +1,174 @@
+"""Tests for CPU VMX mode transitions, exits, and timers."""
+
+import pytest
+
+from repro.hw.cpu import Cpu, CpuError, ExitReason, VmxMode
+from repro.sim import Environment
+
+
+def make_cpu(**kwargs):
+    env = Environment()
+    return env, Cpu(env, 0, **kwargs)
+
+
+def test_initial_mode_is_off():
+    _, cpu = make_cpu()
+    assert cpu.mode is VmxMode.OFF
+
+
+def test_vmxon_vmenter_cycle():
+    _, cpu = make_cpu()
+    cpu.vmxon()
+    assert cpu.mode is VmxMode.ROOT
+    cpu.vmenter()
+    assert cpu.mode is VmxMode.NON_ROOT
+
+
+def test_vmexit_counts_and_charges():
+    _, cpu = make_cpu()
+    cpu.vmxon()
+    cpu.vmenter()
+    cost = cpu.vmexit(ExitReason.PIO)
+    assert cost > 0
+    assert cpu.mode is VmxMode.ROOT
+    assert cpu.exit_counts[ExitReason.PIO] == 1
+    assert cpu.exit_seconds == cost
+
+
+def test_vmexit_from_root_rejected():
+    _, cpu = make_cpu()
+    cpu.vmxon()
+    with pytest.raises(CpuError):
+        cpu.vmexit(ExitReason.PIO)
+
+
+def test_vmxon_twice_rejected():
+    _, cpu = make_cpu()
+    cpu.vmxon()
+    with pytest.raises(CpuError):
+        cpu.vmxon()
+
+
+def test_vmxoff_from_root():
+    _, cpu = make_cpu()
+    cpu.vmxon()
+    cpu.vmxoff()
+    assert cpu.mode is VmxMode.OFF
+
+
+def test_vmxoff_from_non_root_guest_trampoline():
+    # Paper 4.3: VMXOFF can be executed from guest context via a
+    # trampoline; the model allows turning off from non-root.
+    _, cpu = make_cpu()
+    cpu.vmxon()
+    cpu.vmenter()
+    cpu.vmxoff()
+    assert cpu.mode is VmxMode.OFF
+
+
+def test_vmxoff_when_off_rejected():
+    _, cpu = make_cpu()
+    with pytest.raises(CpuError):
+        cpu.vmxoff()
+
+
+def test_exit_rate():
+    _, cpu = make_cpu()
+    cpu.vmxon()
+    cpu.vmenter()
+    for _ in range(10):
+        cpu.vmexit(ExitReason.CPUID)
+        cpu.vmresume()
+    assert cpu.exit_rate(2.0) == 5.0
+    assert cpu.exit_rate(0.0) == 0.0
+
+
+def test_preemption_timer_fires_periodically():
+    env, cpu = make_cpu()
+    cpu.vmxon()
+    cpu.vmenter()
+    fired = []
+
+    def poll():
+        fired.append(env.now)
+        yield env.timeout(0)
+
+    cpu.arm_preemption_timer(1e-3, poll)
+    env.run(until=0.0105)
+    assert len(fired) == 10
+    assert cpu.exit_counts[ExitReason.PREEMPTION_TIMER] == 10
+
+
+def test_preemption_timer_skips_when_not_in_guest():
+    env, cpu = make_cpu()
+    cpu.vmxon()  # root mode: guest not running
+    fired = []
+
+    def poll():
+        fired.append(env.now)
+        yield env.timeout(0)
+
+    cpu.arm_preemption_timer(1e-3, poll)
+    env.run(until=0.01)
+    assert fired == []
+    assert cpu.total_exits == 0
+
+
+def test_preemption_timer_unavailable_raises():
+    env, cpu = make_cpu(has_preemption_timer=False)
+    with pytest.raises(CpuError):
+        cpu.arm_preemption_timer(1e-3, lambda: iter(()))
+
+
+def test_soft_timer_fallback_fires_with_jitter():
+    env, cpu = make_cpu(has_preemption_timer=False)
+    cpu.vmxon()
+    cpu.vmenter()
+    fired = []
+
+    def poll():
+        fired.append(env.now)
+        yield env.timeout(0)
+
+    cpu.arm_soft_timer(1e-3, poll)
+    env.run(until=0.02)
+    assert len(fired) > 5
+    # Jitter means intervals are not all identical.
+    gaps = {round(b - a, 7) for a, b in zip(fired, fired[1:])}
+    assert len(gaps) > 1
+    assert cpu.exit_counts[ExitReason.EXTERNAL_INTERRUPT] == len(fired)
+
+
+def test_cancel_preemption_timer_stops_firing():
+    env, cpu = make_cpu()
+    cpu.vmxon()
+    cpu.vmenter()
+    fired = []
+
+    def poll():
+        fired.append(env.now)
+        yield env.timeout(0)
+
+    cpu.arm_preemption_timer(1e-3, poll)
+    env.run(until=0.005)
+    count = len(fired)
+    cpu.cancel_preemption_timer()
+    env.run(until=0.02)
+    assert len(fired) == count
+
+
+def test_vmxoff_disarms_timer():
+    env, cpu = make_cpu()
+    cpu.vmxon()
+    cpu.vmenter()
+    fired = []
+
+    def poll():
+        fired.append(env.now)
+        yield env.timeout(0)
+
+    cpu.arm_preemption_timer(1e-3, poll)
+    env.run(until=0.003)
+    cpu.vmxoff()
+    env.run(until=0.02)
+    assert len(fired) <= 3

@@ -1,0 +1,82 @@
+"""Tests for the physical memory map (E820) model."""
+
+import pytest
+
+from repro.hw.memory import MemoryMapError, PhysicalMemory
+
+
+GB = 2**30
+MB = 2**20
+
+
+def test_starts_fully_usable():
+    memory = PhysicalMemory(4 * GB)
+    assert memory.usable_bytes == 4 * GB
+    assert memory.reserved_bytes == 0
+    assert len(memory.regions) == 1
+
+
+def test_size_must_be_positive():
+    with pytest.raises(ValueError):
+        PhysicalMemory(0)
+
+
+def test_reserve_carves_hole():
+    memory = PhysicalMemory(4 * GB)
+    memory.reserve(1 * GB, 128 * MB)
+    assert memory.reserved_bytes == 128 * MB
+    assert memory.usable_bytes == 4 * GB - 128 * MB
+    kinds = [r.kind for r in memory.regions]
+    assert kinds == ["usable", "reserved", "usable"]
+
+
+def test_reserve_at_start_of_memory():
+    memory = PhysicalMemory(1 * GB)
+    memory.reserve(0, 64 * MB)
+    assert memory.regions[0].kind == "reserved"
+    assert memory.regions[0].start == 0
+
+
+def test_reserve_outside_memory_rejected():
+    memory = PhysicalMemory(1 * GB)
+    with pytest.raises(MemoryMapError):
+        memory.reserve(1 * GB - 1 * MB, 2 * MB)
+
+
+def test_double_reserve_same_region_rejected():
+    memory = PhysicalMemory(1 * GB)
+    memory.reserve(0, 64 * MB)
+    with pytest.raises(MemoryMapError):
+        memory.reserve(32 * MB, 64 * MB)
+
+
+def test_kind_at():
+    memory = PhysicalMemory(1 * GB)
+    memory.reserve(100 * MB, 10 * MB)
+    assert memory.kind_at(0) == "usable"
+    assert memory.kind_at(105 * MB) == "reserved"
+    assert memory.kind_at(110 * MB) == "usable"
+
+
+def test_kind_at_out_of_range():
+    memory = PhysicalMemory(1 * GB)
+    with pytest.raises(MemoryMapError):
+        memory.kind_at(2 * GB)
+
+
+def test_release_returns_region_and_coalesces():
+    memory = PhysicalMemory(1 * GB)
+    hole = memory.reserve(100 * MB, 10 * MB)
+    memory.release(hole)
+    assert memory.reserved_bytes == 0
+    assert len(memory.regions) == 1
+
+
+def test_release_unknown_region_rejected():
+    memory = PhysicalMemory(1 * GB)
+    memory.reserve(0, 1 * MB)
+    other = PhysicalMemory(1 * GB)
+    hole = other.reserve(0, 1 * MB)
+    memory.release(hole)  # same value: dataclass equality makes this valid
+    with pytest.raises(MemoryMapError):
+        memory.release(hole)

@@ -1,0 +1,235 @@
+"""Tests for the Ethernet switch, NICs, and InfiniBand fabric."""
+
+import pytest
+
+from repro import params
+from repro.hw.machine import Machine
+from repro.net import EthernetSwitch, IbFabric, IbHca, LossModel, Nic
+from repro.sim import Environment
+
+
+def make_net(**kwargs):
+    env = Environment()
+    switch = EthernetSwitch(env, **kwargs)
+    a = Nic(env, switch, "a")
+    b = Nic(env, switch, "b")
+    return env, switch, a, b
+
+
+def run(env, generator):
+    return env.run(until=env.process(generator))
+
+
+def test_frame_delivery():
+    env, switch, a, b = make_net()
+
+    def proc():
+        delivered = yield from a.send("b", "hello", 100)
+        frame = yield from b.recv()
+        return delivered, frame.payload
+
+    delivered, payload = run(env, proc())
+    assert delivered
+    assert payload == "hello"
+    assert a.tx_frames == 1
+    assert b.rx_frames == 1
+
+
+def test_serialization_delay_at_line_rate():
+    env, switch, a, b = make_net()
+    payload_bytes = 8962  # jumbo frame
+
+    def proc():
+        yield from a.send("b", "x", payload_bytes)
+        yield from b.recv()
+
+    run(env, proc())
+    wire = payload_bytes + params.ETH_FRAME_OVERHEAD
+    expected = 2 * wire * 8 / params.GBE_BITS_PER_SECOND \
+        + params.SWITCH_LATENCY_SECONDS
+    assert env.now == pytest.approx(expected, rel=0.05)
+
+
+def test_mtu_enforced():
+    env, switch, a, b = make_net(mtu=1500)
+
+    def proc():
+        yield from a.send("b", "big", 5000)
+
+    with pytest.raises(ValueError):
+        run(env, proc())
+
+
+def test_unknown_destination_rejected():
+    env, switch, a, b = make_net()
+
+    def proc():
+        yield from a.send("nowhere", "x", 10)
+
+    with pytest.raises(ValueError):
+        run(env, proc())
+
+
+def test_duplicate_port_name_rejected():
+    env, switch, a, b = make_net()
+    with pytest.raises(ValueError):
+        Nic(env, switch, "a")
+
+
+def test_loss_model_drops_frames():
+    env = Environment()
+    switch = EthernetSwitch(env, loss=LossModel(0.5, seed=42))
+    a = Nic(env, switch, "a")
+    b = Nic(env, switch, "b")
+    outcomes = []
+
+    def proc():
+        for _ in range(100):
+            delivered = yield from a.send("b", "x", 100)
+            outcomes.append(delivered)
+
+    run(env, proc())
+    assert 20 < sum(outcomes) < 80
+    assert switch.loss.dropped == 100 - sum(outcomes)
+
+
+def test_loss_probability_validated():
+    with pytest.raises(ValueError):
+        LossModel(1.5)
+
+
+def test_rx_ring_overflow_drops():
+    env = Environment()
+    switch = EthernetSwitch(env)
+    a = Nic(env, switch, "a")
+    b = Nic(env, switch, "b", rx_ring_size=4)
+
+    def proc():
+        for _ in range(10):
+            yield from a.send("b", "x", 100)
+
+    run(env, proc())
+    env.run()  # drain in-flight deliveries
+    assert b.rx_pending == 4
+    assert b.rx_dropped == 6
+
+
+def test_nic_poll_nonblocking():
+    env, switch, a, b = make_net()
+    assert b.poll() is None
+
+    def proc():
+        yield from a.send("b", "x", 10)
+
+    run(env, proc())
+    env.run()  # drain in-flight deliveries
+    assert b.poll() is not None
+    assert b.poll() is None
+
+
+def test_two_senders_share_receiver_port():
+    """Two flows into one port cannot exceed the port's line rate."""
+    env = Environment()
+    switch = EthernetSwitch(env)
+    a = Nic(env, switch, "a")
+    b = Nic(env, switch, "b")
+    c = Nic(env, switch, "c", rx_ring_size=10000)
+    frame_bytes = 8962
+    n = 50
+
+    def sender(nic):
+        for _ in range(n):
+            yield from nic.send("c", "x", frame_bytes)
+
+    env.process(sender(a))
+    env.process(sender(b))
+    env.run()
+    total_bits = 2 * n * (frame_bytes + params.ETH_FRAME_OVERHEAD) * 8
+    minimum = total_bits / params.GBE_BITS_PER_SECOND
+    assert env.now >= minimum * 0.99
+
+
+# -- InfiniBand ---------------------------------------------------------------
+
+def make_ib():
+    env = Environment()
+    fabric = IbFabric(env)
+    m1 = Machine(env, name="n1")
+    m2 = Machine(env, name="n2")
+    h1 = IbHca(env, fabric, m1)
+    h2 = IbHca(env, fabric, m2)
+    return env, fabric, m1, m2, h1, h2
+
+
+def test_rdma_write_latency_baremetal():
+    env, fabric, m1, m2, h1, h2 = make_ib()
+
+    def proc():
+        elapsed = yield from h1.rdma_write("n2", 64 * 1024)
+        return elapsed
+
+    elapsed = run(env, proc())
+    expected = params.IB_BASE_LATENCY_SECONDS \
+        + 64 * 1024 * 8 / params.IB_BITS_PER_SECOND
+    assert elapsed == pytest.approx(expected, rel=0.01)
+
+
+def test_rdma_latency_tax_from_condition():
+    env, fabric, m1, m2, h1, h2 = make_ib()
+    m1.set_condition(m1.condition.with_(
+        label="kvm", ib_latency_factor=params.KVM_IB_LATENCY_FACTOR))
+
+    def proc():
+        kvm_time = yield from h1.rdma_write("n2", 8)
+        bare_time = yield from h2.rdma_write("n1", 8)
+        return kvm_time, bare_time
+
+    kvm_time, bare_time = run(env, proc())
+    assert kvm_time > bare_time
+    # Transfer of 8 bytes is negligible: ratio approximates the factor.
+    assert kvm_time / bare_time == pytest.approx(
+        params.KVM_IB_LATENCY_FACTOR, rel=0.02)
+
+
+def test_rdma_read_has_two_latency_legs():
+    env, fabric, m1, m2, h1, h2 = make_ib()
+
+    def proc():
+        write_time = yield from h1.rdma_write("n2", 8)
+        read_time = yield from h1.rdma_read("n2", 8)
+        return write_time, read_time
+
+    write_time, read_time = run(env, proc())
+    assert read_time > write_time
+
+
+def test_rdma_unknown_peer_rejected():
+    env, fabric, m1, m2, h1, h2 = make_ib()
+
+    def proc():
+        yield from h1.rdma_write("nope", 8)
+
+    with pytest.raises(ValueError):
+        run(env, proc())
+
+
+def test_hca_send_queue_serializes():
+    env, fabric, m1, m2, h1, h2 = make_ib()
+    done = []
+
+    def sender():
+        yield from h1.rdma_write("n2", 10 * 2**20)
+        done.append(env.now)
+
+    env.process(sender())
+    env.process(sender())
+    env.run()
+    assert done[1] >= 2 * done[0] * 0.99
+
+
+def test_message_latency_analytic():
+    env, fabric, m1, m2, h1, h2 = make_ib()
+    small = h1.message_latency(8)
+    large = h1.message_latency(1 << 20)
+    assert small < large
+    assert small == pytest.approx(params.IB_BASE_LATENCY_SECONDS, rel=0.01)

@@ -1,0 +1,172 @@
+"""Tests for the mechanical disk model."""
+
+import pytest
+
+from repro import params
+from repro.sim import Environment
+from repro.storage.blockdev import BlockOp, BlockRequest
+from repro.storage.disk import Disk
+
+
+MB_SECTORS = 2**20 // params.SECTOR_BYTES
+
+
+def make_disk():
+    env = Environment()
+    return env, Disk(env)
+
+
+def run(env, generator):
+    return env.run(until=env.process(generator))
+
+
+def test_write_then_read_roundtrip():
+    env, disk = make_disk()
+
+    def proc():
+        write = BlockRequest(BlockOp.WRITE, lba=100, sector_count=8)
+        write.buffer.fill_constant("payload")
+        yield from disk.execute(write)
+        read = BlockRequest(BlockOp.READ, lba=100, sector_count=8)
+        yield from disk.execute(read)
+        return read.buffer.runs
+
+    runs = run(env, proc())
+    assert runs == [(100, 108, "payload")]
+
+
+def test_read_of_empty_region_returns_gap():
+    env, disk = make_disk()
+
+    def proc():
+        read = BlockRequest(BlockOp.READ, lba=0, sector_count=4)
+        yield from disk.execute(read)
+        return read.buffer.runs
+
+    runs = run(env, proc())
+    assert runs == [(0, 4, None)]
+
+
+def test_sequential_read_faster_than_random():
+    env, disk = make_disk()
+    seq = BlockRequest(BlockOp.READ, lba=0, sector_count=MB_SECTORS)
+    random = BlockRequest(BlockOp.READ, lba=disk.total_sectors // 2,
+                          sector_count=MB_SECTORS)
+    assert disk.service_time(seq) < disk.service_time(random)
+
+
+def test_large_sequential_read_approaches_rated_bandwidth():
+    env, disk = make_disk()
+    nbytes = 200 * 2**20
+    request = BlockRequest(BlockOp.READ, lba=0,
+                           sector_count=nbytes // params.SECTOR_BYTES)
+    duration = disk.service_time(request)
+    achieved = nbytes / duration
+    assert achieved == pytest.approx(params.DISK_READ_BW, rel=0.01)
+
+
+def test_write_bandwidth_lower_than_read():
+    env, disk = make_disk()
+    read = BlockRequest(BlockOp.READ, lba=0, sector_count=MB_SECTORS * 100)
+    write = BlockRequest(BlockOp.WRITE, lba=0, sector_count=MB_SECTORS * 100)
+    assert disk.service_time(read) < disk.service_time(write)
+
+
+def test_seek_time_grows_with_distance_and_caps():
+    env, disk = make_disk()
+    short = disk.seek_time(0, disk.total_sectors // 100)
+    medium = disk.seek_time(0, disk.total_sectors // 3)
+    far = disk.seek_time(0, disk.total_sectors - 1)
+    assert 0 < short < medium <= far
+    assert medium == pytest.approx(params.DISK_SEEK_AVG_SECONDS, rel=0.01)
+    assert far <= params.DISK_SEEK_MAX_SECONDS
+
+
+def test_zero_seek_when_head_in_place():
+    env, disk = make_disk()
+    assert disk.seek_time(500, 500) == 0.0
+
+
+def test_cache_hit_fast_and_leaves_head():
+    env, disk = make_disk()
+
+    def proc():
+        first = BlockRequest(BlockOp.READ, lba=1000, sector_count=8)
+        yield from disk.execute(first)
+        head_after = disk.head_lba
+        start = env.now
+        again = BlockRequest(BlockOp.READ, lba=1002, sector_count=2)
+        yield from disk.execute(again)
+        return head_after, env.now - start
+
+    head_after, hit_time = run(env, proc())
+    assert hit_time == pytest.approx(params.DISK_CACHE_HIT_SECONDS)
+    assert disk.head_lba == head_after
+
+
+def test_requests_serialize_on_the_arm():
+    env, disk = make_disk()
+    done = []
+
+    def issuer(lba):
+        request = BlockRequest(BlockOp.READ, lba=lba, sector_count=1024)
+        yield from disk.execute(request)
+        done.append((env.now, lba))
+
+    env.process(issuer(0))
+    env.process(issuer(disk.total_sectors // 2))
+    env.run()
+    assert len(done) == 2
+    # The second request cannot finish at the same time as the first.
+    assert done[1][0] > done[0][0]
+
+
+def test_request_past_end_of_disk_rejected():
+    env, disk = make_disk()
+
+    def proc():
+        request = BlockRequest(BlockOp.READ, lba=disk.total_sectors,
+                               sector_count=1)
+        yield from disk.execute(request)
+
+    with pytest.raises(ValueError):
+        run(env, proc())
+
+
+def test_metrics_accumulate():
+    env, disk = make_disk()
+
+    def proc():
+        write = BlockRequest(BlockOp.WRITE, lba=0, sector_count=64)
+        write.buffer.fill_constant("x")
+        yield from disk.execute(write)
+        read = BlockRequest(BlockOp.READ, lba=0, sector_count=64)
+        yield from disk.execute(read)
+
+    run(env, proc())
+    assert disk.requests_served == 2
+    assert disk.sectors_written == 64
+    assert disk.sectors_read == 64
+    assert disk.busy_seconds > 0
+    assert 0 < disk.utilization(env.now) <= 1.0
+
+
+def test_interleaved_writes_cause_seek_overhead():
+    """Two writers at distant LBAs interleaved must seek; total busy time
+    exceeds what pure sequential streaming would take (paper 5.6)."""
+    env, disk = make_disk()
+    far = disk.total_sectors // 2
+
+    def writer(base):
+        for i in range(10):
+            request = BlockRequest(BlockOp.WRITE, lba=base + i * 128,
+                                   sector_count=128)
+            request.buffer.fill_constant("w")
+            yield from disk.execute(request)
+
+    env.process(writer(0))
+    env.process(writer(far))
+    env.run()
+    transfer_only = 20 * 128 * params.SECTOR_BYTES / params.DISK_WRITE_BW
+    assert disk.busy_seconds > 2 * transfer_only
+    assert disk.seek_seconds > 0
