@@ -8,6 +8,7 @@ appended to ``benchmarks/results/`` so EXPERIMENTS.md can cite them.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 from repro.cloud.provisioner import Provisioner
@@ -70,12 +71,22 @@ def run(env, generator):
     return env.run(until=env.process(generator))
 
 
-def emit(name: str, text: str) -> None:
-    """Print a figure's table and persist it under results/."""
+def emit(name: str, text: str, data=None) -> None:
+    """Print a figure's table and persist it under results/.
+
+    ``data`` (any JSON-serializable structure — typically the rows the
+    table was built from) is additionally written to ``{name}.json`` so
+    downstream tooling can consume results without screen-scraping the
+    text tables.
+    """
     print()
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    if data is not None:
+        (RESULTS_DIR / f"{name}.json").write_text(
+            json.dumps(data, indent=2, sort_keys=True, default=str)
+            + "\n")
 
 
 def once(benchmark, function):

@@ -45,11 +45,16 @@ def test_fig04_startup_time(benchmark):
                              for label, seconds in timeline.segments)
         rows.append([method, round(timeline.total, 1),
                      PAPER_SECONDS[method], segments])
+    measured = {method: timelines[method].total for method in METHODS}
     emit("fig04_startup", format_table(
         ["method", "measured s", "paper s", "segments"], rows,
-        title="Figure 4: OS startup time"))
-
-    measured = {method: timelines[method].total for method in METHODS}
+        title="Figure 4: OS startup time"),
+        data={method: {
+            "measured_seconds": round(measured[method], 3),
+            "paper_seconds": PAPER_SECONDS[method],
+            "segments": [[label, round(seconds, 3)] for label, seconds
+                         in timelines[method].segments],
+        } for method in METHODS})
     # Shape assertions (the paper's claims):
     # 1. BMcast ~8-9x faster than image copy (both exclude firmware).
     speedup = measured["image-copy"] / measured["bmcast"]

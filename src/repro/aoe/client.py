@@ -20,6 +20,7 @@ from repro.aoe.protocol import (
     split_write_payload,
 )
 from repro.net.nic import Nic
+from repro.obs.telemetry import NULL_TELEMETRY
 from repro.sim import Environment, Event, Interrupt
 
 
@@ -46,7 +47,8 @@ class AoeInitiator:
     def __init__(self, env: Environment, nic: Nic, server: str,
                  poll_interval: float = 0.0,
                  initial_rto: float = 50e-3,
-                 min_rto: float = 2e-3):
+                 min_rto: float = 2e-3,
+                 telemetry=NULL_TELEMETRY):
         self.env = env
         self.nic = nic
         self.server = server
@@ -62,6 +64,26 @@ class AoeInitiator:
         self.writes_completed = 0
         self.retransmissions = 0
         self.bytes_received = 0
+        self.telemetry = telemetry
+        registry = telemetry.registry
+        self._m_rtt = {
+            "read": registry.histogram("aoe_request_seconds", op="read",
+                                       help="AoE round-trip latency"),
+            "write": registry.histogram("aoe_request_seconds", op="write",
+                                        help="AoE round-trip latency"),
+        }
+        self._m_retransmissions = registry.counter(
+            "aoe_retransmissions_total",
+            help="AoE commands retransmitted after an RTO expiry")
+        self._m_timeouts = registry.counter(
+            "aoe_timeouts_total",
+            help="AoE transactions abandoned after the retry budget")
+        self._m_rx_bytes = registry.counter(
+            "aoe_bytes_received_total",
+            help="payload bytes fetched from the storage server")
+        self._m_tx_bytes = registry.counter(
+            "aoe_bytes_sent_total",
+            help="payload bytes pushed to the storage server")
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -100,6 +122,7 @@ class AoeInitiator:
         self.reads_completed += 1
         runs = transaction.reassembly.assemble()
         self.bytes_received += sector_count * 512
+        self._m_rx_bytes.inc(sector_count * 512)
         yield from self._poll_quantize()
         return runs
 
@@ -109,6 +132,7 @@ class AoeInitiator:
                              payload_runs=tuple(runs))
         yield from self._transact(command)
         self.writes_completed += 1
+        self._m_tx_bytes.inc(sector_count * 512)
         yield from self._poll_quantize()
 
     # -- transaction engine ------------------------------------------------------------
@@ -118,6 +142,10 @@ class AoeInitiator:
             self.start()
         transaction = _Transaction(self.env, command)
         self._pending[command.tag] = transaction
+        started = self.env.now
+        span = self.telemetry.tracer.start(
+            f"aoe-{command.op}", lba=command.lba,
+            sectors=command.sector_count)
         try:
             yield from self._send_command(command)
             while not transaction.done.triggered:
@@ -131,16 +159,20 @@ class AoeInitiator:
                     continue
                 transaction.retries += 1
                 if transaction.retries > self.MAX_RETRIES:
+                    self._m_timeouts.inc()
                     raise AoeTimeoutError(
                         f"AoE tag {command.tag} gave up after "
                         f"{self.MAX_RETRIES} retries")
                 self.retransmissions += 1
+                self._m_retransmissions.inc()
                 # Back off the estimator on loss (Karn-style doubling).
                 self._rttvar *= 2.0
                 transaction.sent_at = self.env.now
                 yield from self._send_command(command)
         finally:
             self._pending.pop(command.tag, None)
+            self.telemetry.tracer.end(span, retries=transaction.retries)
+        self._m_rtt[command.op].observe(self.env.now - started)
         return transaction
 
     def _send_command(self, command: AoeCommand):

@@ -15,6 +15,7 @@ from repro.aoe.protocol import (
     split_read_reply,
 )
 from repro.net.nic import Nic
+from repro.obs.telemetry import NULL_TELEMETRY
 from repro.sim import Environment, Resource, Store
 from repro.util.intervalmap import IntervalMap
 
@@ -94,7 +95,8 @@ class AoeServer:
     PER_FRAME_CPU_SECONDS = 3e-6
 
     def __init__(self, env: Environment, nic: Nic, store: ImageStore,
-                 workers: int = 8, mtu: int | None = None):
+                 workers: int = 8, mtu: int | None = None,
+                 telemetry=NULL_TELEMETRY):
         if workers < 1:
             raise ValueError("need at least one worker")
         self.env = env
@@ -108,6 +110,27 @@ class AoeServer:
         # Metrics.
         self.commands_served = 0
         self.fragments_sent = 0
+        registry = telemetry.registry
+        self._m_service = {
+            "read": registry.histogram(
+                "aoe_server_service_seconds", op="read",
+                help="server-side service time per AoE command"),
+            "write": registry.histogram(
+                "aoe_server_service_seconds", op="write",
+                help="server-side service time per AoE command"),
+        }
+        self._m_commands = {
+            "read": registry.counter("aoe_server_commands_total",
+                                     op="read"),
+            "write": registry.counter("aoe_server_commands_total",
+                                      op="write"),
+        }
+        self._m_fragments = registry.counter(
+            "aoe_server_fragments_total",
+            help="reply fragments put on the wire")
+        self._m_queue_wait = registry.histogram(
+            "aoe_server_queue_wait_seconds",
+            help="time a command waited for a free worker")
 
     def start(self):
         """Spawn the receive/dispatch loop; returns the process."""
@@ -136,14 +159,19 @@ class AoeServer:
             return
 
     def _serve(self, command: AoeCommand, reply_to: str):
+        arrived = self.env.now
         with self.workers.request() as grant:
             yield grant
+            self._m_queue_wait.observe(self.env.now - arrived)
+            started = self.env.now
             if command.op == "read":
                 yield from self._serve_read(command, reply_to)
             elif command.op == "write":
                 yield from self._serve_write(command, reply_to)
             else:
                 raise ValueError(f"unknown AoE op {command.op!r}")
+            self._m_service[command.op].observe(self.env.now - started)
+            self._m_commands[command.op].inc()
         self.commands_served += 1
 
     def _serve_read(self, command: AoeCommand, reply_to: str):
@@ -158,6 +186,7 @@ class AoeServer:
             yield from self.nic.send(reply_to, fragment,
                                      fragment.payload_bytes)
             self.fragments_sent += 1
+            self._m_fragments.inc()
 
     def _serve_read_bulk(self, command: AoeCommand, reply_to: str,
                          runs: list):
@@ -176,6 +205,7 @@ class AoeServer:
             self.nic.name, reply_to, fragment, payload_bytes,
             per_frame_payload)
         self.fragments_sent += 1
+        self._m_fragments.inc()
 
     def _serve_write(self, command: AoeCommand, reply_to: str):
         yield from self.store.write(command.lba,

@@ -6,7 +6,12 @@ Commands:
   and (for BMcast) the deployment summary.
 * ``compare``   — deploy by every method and print a Figure-4-style table.
 * ``sweep``     — the moderation write-interval sweep (Figure 14 shape).
+* ``metrics``   — deploy once with telemetry on and print the summary.
 * ``info``      — the calibrated testbed constants.
+
+``deploy`` and ``compare`` accept ``--metrics-out FILE`` to record the
+run with the :mod:`repro.obs` telemetry subsystem and export it — JSON
+by default, Prometheus text exposition when FILE ends in ``.prom``.
 """
 
 from __future__ import annotations
@@ -18,6 +23,8 @@ from repro.cloud.provisioner import METHODS, Provisioner
 from repro.cloud.scenario import build_testbed
 from repro.guest.osimage import OsImage
 from repro.metrics.report import format_table
+from repro.obs import NULL_TELEMETRY, Telemetry
+from repro.sim import Environment
 from repro.vmm.moderation import interval_sweep_policy
 
 
@@ -43,12 +50,29 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="wait for deployment to finish (BMcast)")
     deploy.add_argument("--trace", action="store_true",
                         help="record and print the VMM's event trace")
+    deploy.add_argument("--metrics-out", metavar="FILE",
+                        help="export telemetry (JSON, or Prometheus "
+                        "text if FILE ends in .prom)")
 
     compare = sub.add_parser("compare", help="compare every method")
     compare.add_argument("--image-gb", type=float, default=4.0)
+    compare.add_argument("--metrics-out", metavar="FILE",
+                         help="export telemetry for all runs combined")
 
     sweep = sub.add_parser("sweep", help="moderation interval sweep")
     sweep.add_argument("--image-gb", type=float, default=2.0)
+
+    metrics = sub.add_parser(
+        "metrics", help="deploy with telemetry on and print the summary")
+    metrics.add_argument("--method", choices=METHODS, default="bmcast")
+    metrics.add_argument("--image-gb", type=float, default=1.0)
+    metrics.add_argument("--controller",
+                         choices=("ahci", "ide", "megaraid"),
+                         default="ahci")
+    metrics.add_argument("--wait", action="store_true",
+                         help="wait for deployment to finish (BMcast)")
+    metrics.add_argument("--metrics-out", metavar="FILE",
+                         help="also export the telemetry to FILE")
 
     sub.add_parser("info", help="print testbed calibration")
     return parser
@@ -65,19 +89,31 @@ def _segments(timeline) -> str:
                      for label, seconds in timeline.segments)
 
 
-def cmd_deploy(args) -> int:
+def _make_telemetry(args):
+    """(env, telemetry): a Telemetry when --metrics-out was given,
+    otherwise the zero-cost null object — the timeline is identical
+    either way."""
+    env = Environment()
+    if getattr(args, "metrics_out", None):
+        return env, Telemetry(env)
+    return env, NULL_TELEMETRY
+
+
+def cmd_deploy(args, print_summary: bool = False) -> int:
+    env, telemetry = _make_telemetry(args)
     testbed = build_testbed(disk_controller=args.controller,
-                            image=_image(args.image_gb))
+                            image=_image(args.image_gb),
+                            env=env, telemetry=telemetry)
     provisioner = Provisioner(testbed)
-    env = testbed.env
     options = {}
-    if args.prefetch and args.method == "bmcast":
+    if getattr(args, "prefetch", False) and args.method == "bmcast":
         options["prefetch_lbas"] = testbed.image.boot_lbas()
-    if args.trace and args.method == "bmcast":
+    if getattr(args, "trace", False) and args.method == "bmcast":
         options["trace"] = True
 
     instance = env.run(until=env.process(provisioner.deploy(
-        args.method, skip_firmware=not args.cold, **options)))
+        args.method, skip_firmware=not getattr(args, "cold", False),
+        **options)))
     print(f"{args.method}: instance ready after "
           f"{instance.timeline.total:.1f}s "
           f"({_segments(instance.timeline)})")
@@ -94,15 +130,23 @@ def cmd_deploy(args) -> int:
             and hasattr(platform, "tracer"):
         print("\nlast trace events:")
         print(platform.tracer.dump(limit=20))
+    if print_summary and telemetry.enabled:
+        print()
+        print(telemetry.summary())
+    if getattr(args, "metrics_out", None):
+        telemetry.write(args.metrics_out)
+        print(f"telemetry written to {args.metrics_out}")
     return 0
 
 
 def cmd_compare(args) -> int:
     rows = []
+    exports = []
     for method in METHODS:
-        testbed = build_testbed(image=_image(args.image_gb))
+        env, telemetry = _make_telemetry(args)
+        testbed = build_testbed(image=_image(args.image_gb),
+                                env=env, telemetry=telemetry)
         provisioner = Provisioner(testbed)
-        env = testbed.env
         try:
             instance = env.run(until=env.process(
                 provisioner.deploy(method, skip_firmware=True)))
@@ -111,9 +155,52 @@ def cmd_compare(args) -> int:
             continue
         rows.append([method, round(instance.timeline.total, 1),
                      _segments(instance.timeline)])
+        if telemetry.enabled:
+            exports.append((method, telemetry))
     print(format_table(["method", "ready (s)", "time spent on"], rows,
                        title=f"Startup comparison "
                        f"({args.image_gb:g}-GB image, warm firmware)"))
+    if getattr(args, "metrics_out", None) and exports:
+        _write_compare_metrics(args.metrics_out, exports)
+        print(f"telemetry written to {args.metrics_out}")
+    return 0
+
+
+def _write_compare_metrics(path: str, exports) -> None:
+    """One file for all compare runs, keyed by method name."""
+    if path.endswith(".prom"):
+        text = "".join(
+            f"# method: {method}\n{telemetry.to_prometheus()}"
+            for method, telemetry in exports)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        return
+    import json
+    payload = {method: telemetry.to_dict()
+               for method, telemetry in exports}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def cmd_metrics(args) -> int:
+    """Deploy once with telemetry always on and print the summary."""
+    env = Environment()
+    telemetry = Telemetry(env)
+    testbed = build_testbed(disk_controller=args.controller,
+                            image=_image(args.image_gb),
+                            env=env, telemetry=telemetry)
+    provisioner = Provisioner(testbed)
+    instance = env.run(until=env.process(provisioner.deploy(
+        args.method, skip_firmware=True)))
+    platform = instance.platform
+    if args.wait and platform is not None and hasattr(platform, "copier"):
+        env.run(until=platform.copier.done)
+        env.run(until=env.now + 10.0)
+    print(telemetry.summary())
+    if args.metrics_out:
+        telemetry.write(args.metrics_out)
+        print(f"telemetry written to {args.metrics_out}")
     return 0
 
 
@@ -180,6 +267,7 @@ def main(argv=None) -> int:
         "deploy": cmd_deploy,
         "compare": cmd_compare,
         "sweep": cmd_sweep,
+        "metrics": cmd_metrics,
         "info": cmd_info,
     }[args.command]
     return handler(args)

@@ -14,6 +14,7 @@ from repro.baselines.os_streaming import StreamingOsInstance
 from repro.cloud.instance import Instance, StartupTimeline
 from repro.cloud.scenario import Testbed, TestbedNode
 from repro.guest.kernel import GuestOs
+from repro.obs.telemetry import NULL_TELEMETRY
 from repro.vmm.bmcast import BmcastVmm
 from repro.vmm.moderation import ModerationPolicy
 
@@ -27,6 +28,7 @@ class Provisioner:
     def __init__(self, testbed: Testbed):
         self.testbed = testbed
         self.env = testbed.env
+        self.telemetry = getattr(testbed, "telemetry", NULL_TELEMETRY)
 
     def deploy(self, method: str, node_index: int = 0,
                skip_firmware: bool = False,
@@ -43,11 +45,17 @@ class Provisioner:
                 f"unknown method {method!r}; choose from {METHODS}")
         node = self.testbed.nodes[node_index]
         timeline = StartupTimeline(power_on=self.env.now)
+        spans = self.telemetry.tracer
+        deploy_span = spans.start(f"deploy:{method}", parent=None,
+                                  node=node_index)
+        spans.ambient = deploy_span
 
+        firmware_span = spans.start("firmware-init", parent=deploy_span)
         if skip_firmware:
             node.machine.firmware.initialized = True
         else:
             yield from node.machine.power_on()
+        spans.end(firmware_span, skipped=skip_firmware)
         timeline.firmware_done = self.env.now
         timeline.add_segment("firmware init",
                              timeline.firmware_done - timeline.power_on)
@@ -56,6 +64,7 @@ class Provisioner:
         instance = yield from handler(node, timeline, policy=policy,
                                       **options)
         timeline.ready = self.env.now
+        spans.end(deploy_span, ready_seconds=timeline.total)
         return instance
 
     # -- bare metal (pre-installed local disk) -----------------------------------------
@@ -70,7 +79,8 @@ class Provisioner:
         timeline.platform_ready = self.env.now
         guest = GuestOs(node.machine, image)
         timeline.os_boot_started = self.env.now
-        yield from guest.boot()
+        with self.telemetry.tracer.span("guest-os-boot"):
+            yield from guest.boot()
         timeline.add_segment("OS boot", self.env.now
                              - timeline.os_boot_started)
         return Instance(node.machine, "baremetal", timeline,
@@ -84,18 +94,24 @@ class Provisioner:
                        policy: ModerationPolicy | None = None,
                        **vmm_options):
         image = self.testbed.image
+        spans = self.telemetry.tracer
+        vmm_options.setdefault("telemetry", self.telemetry)
         vmm = BmcastVmm(self.env, node.machine, node.vmm_nic,
                         self.testbed.server_port,
                         image_sectors=image.total_sectors,
                         policy=policy, **vmm_options)
         start = self.env.now
+        boot_span = spans.start("vmm-netboot")
         yield from node.machine.firmware.network_boot()
         yield from vmm.boot()
+        spans.end(boot_span)
         timeline.platform_ready = self.env.now
         timeline.add_segment("VMM boot", self.env.now - start)
         guest = GuestOs(node.machine, image)
         timeline.os_boot_started = self.env.now
+        os_span = spans.start("guest-os-boot")
         yield from guest.boot()
+        spans.end(os_span)
         timeline.add_segment("OS boot", self.env.now
                              - timeline.os_boot_started)
         return Instance(node.machine, "bmcast", timeline,
@@ -111,7 +127,8 @@ class Provisioner:
         deployment = ImageCopyDeployment(self.env, node,
                                          self.testbed.server_port, image)
         start = self.env.now
-        yield from deployment.run()
+        with self.telemetry.tracer.span("installer-and-transfer"):
+            yield from deployment.run()
         timeline.platform_ready = self.env.now
         timeline.add_segment("installer boot",
                              deployment.installer_boot_seconds + 2.0)

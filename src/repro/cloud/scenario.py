@@ -16,6 +16,7 @@ from repro.hw.machine import Machine, MachineSpec
 from repro.net.infiniband import IbFabric, IbHca
 from repro.net.link import EthernetSwitch, LossModel
 from repro.net.nic import Nic
+from repro.obs.telemetry import NULL_TELEMETRY
 from repro.sim import Environment
 from repro.storage.ahci import AhciController
 from repro.storage.disk import Disk
@@ -47,6 +48,7 @@ class Testbed:
     server_port: str
     nodes: list[TestbedNode] = field(default_factory=list)
     ib_fabric: IbFabric | None = None
+    telemetry: object = NULL_TELEMETRY
 
     @property
     def node(self) -> TestbedNode:
@@ -63,28 +65,40 @@ def build_testbed(node_count: int = 1,
                   server_cache_hit_ratio: float = 0.5,
                   with_infiniband: bool = False,
                   has_preemption_timer: bool = True,
-                  env: Environment | None = None) -> Testbed:
+                  env: Environment | None = None,
+                  telemetry=NULL_TELEMETRY) -> Testbed:
     """Assemble the paper's testbed.
 
     Defaults follow Section 5: gigabit Ethernet with 9000-byte MTU, a
     thread-pooled AoE server, AHCI local disks, and a 32-GB image.
+
+    ``telemetry`` (a :class:`repro.obs.Telemetry` built on the same
+    ``env``) is threaded into the switch, every NIC, and the AoE
+    server; the provisioner and VMM pick it up from the testbed.
     """
     env = env or Environment()
+    if telemetry.enabled and telemetry.env is not env:
+        raise ValueError(
+            "telemetry must be built on the same Environment as the "
+            "testbed (pass env= alongside telemetry=)")
     switch = EthernetSwitch(env, mtu=mtu,
-                            loss=LossModel(loss_probability, seed=97))
+                            loss=LossModel(loss_probability, seed=97),
+                            telemetry=telemetry)
     image = image or OsImage()
 
     store = ImageStore(env, image.contents, image.total_sectors,
                        cache_hit_ratio=server_cache_hit_ratio)
-    server_nic = Nic(env, switch, "server", rx_ring_size=8192)
-    server = AoeServer(env, server_nic, store, workers=server_workers)
+    server_nic = Nic(env, switch, "server", rx_ring_size=8192,
+                     telemetry=telemetry)
+    server = AoeServer(env, server_nic, store, workers=server_workers,
+                       telemetry=telemetry)
     server.start()
 
     fabric = IbFabric(env) if with_infiniband else None
 
     testbed = Testbed(env=env, switch=switch, image=image, store=store,
                       server=server, server_port="server",
-                      ib_fabric=fabric)
+                      ib_fabric=fabric, telemetry=telemetry)
 
     for index in range(node_count):
         name = f"node{index}"
@@ -101,8 +115,10 @@ def build_testbed(node_count: int = 1,
         else:
             raise ValueError(
                 f"unknown controller kind {disk_controller!r}")
-        guest_nic = Nic(env, switch, f"{name}-eth0")
-        vmm_nic = Nic(env, switch, f"{name}-eth1", rx_ring_size=8192)
+        guest_nic = Nic(env, switch, f"{name}-eth0",
+                        telemetry=telemetry)
+        vmm_nic = Nic(env, switch, f"{name}-eth1", rx_ring_size=8192,
+                      telemetry=telemetry)
         machine.attach_nic(guest_nic)
         machine.attach_nic(vmm_nic)
         hca = IbHca(env, fabric, machine) if fabric is not None else None

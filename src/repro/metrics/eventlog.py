@@ -67,12 +67,50 @@ class EventLog:
         return "\n".join(lines + [f"-- totals: {summary}"])
 
 
+class _FrozenCounter(Counter):
+    """A Counter that refuses mutation (missing keys still read as 0)."""
+
+    def __init__(self):
+        # Counter.__init__ routes through update(), which is frozen.
+        dict.__init__(self)
+
+    def _refuse(self, *args, **kwargs):
+        raise TypeError("NullEventLog.counts is immutable")
+
+    __setitem__ = _refuse
+    __delitem__ = _refuse
+    update = _refuse
+    subtract = _refuse
+    clear = _refuse
+    setdefault = _refuse
+    pop = _refuse
+    popitem = _refuse
+
+    def __missing__(self, key):
+        # Counter.__missing__ returns 0 without inserting; keep that,
+        # but make it explicit that no state is created.
+        return 0
+
+
+#: Single immutable view shared by every NullEventLog: reads behave like
+#: an empty Counter, writes raise instead of leaking state between
+#: deployments (the old class-level mutable Counter let one user's
+#: accidental mutation show up in every other NULL_LOG reader).
+_EMPTY_COUNTS = _FrozenCounter()
+
+
 class NullEventLog:
     """Disabled tracer: every operation is a no-op."""
 
     enabled = False
-    records: tuple = ()
-    counts: Counter = Counter()
+
+    @property
+    def records(self) -> tuple:
+        return ()
+
+    @property
+    def counts(self) -> Counter:
+        return _EMPTY_COUNTS
 
     def log(self, category: str, message: str, **fields) -> None:
         pass

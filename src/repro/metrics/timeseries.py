@@ -31,6 +31,50 @@ class TimeSeries:
             raise ValueError(f"no samples in series {self.name!r}")
         return sum(values) / len(values)
 
+    def time_weighted_mean(self, until: float | None = None) -> float:
+        """Mean weighted by how long each sample was in effect.
+
+        Each sample's value is held from its timestamp until the next
+        sample (or ``until``, defaulting to the last timestamp), so a
+        burst of rapid samples no longer dominates long steady
+        stretches the way the arithmetic :meth:`mean` lets it.
+        """
+        if not self.samples:
+            raise ValueError(f"no samples in series {self.name!r}")
+        if len(self.samples) == 1:
+            return self.samples[0][1]
+        end = self.samples[-1][0] if until is None else until
+        weighted = 0.0
+        total = 0.0
+        for (time, value), (next_time, _) in zip(self.samples,
+                                                 self.samples[1:]):
+            span = next_time - time
+            weighted += value * span
+            total += span
+        tail = end - self.samples[-1][0]
+        if tail > 0:
+            weighted += self.samples[-1][1] * tail
+            total += tail
+        if total <= 0:
+            # All samples share one timestamp: fall back to the mean.
+            return self.mean()
+        return weighted / total
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-quantile (``q`` in [0, 1]), linearly interpolated."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        values = sorted(self.values())
+        if not values:
+            raise ValueError(f"no samples in series {self.name!r}")
+        if len(values) == 1:
+            return values[0]
+        position = q * (len(values) - 1)
+        low = int(position)
+        high = min(low + 1, len(values) - 1)
+        fraction = position - low
+        return values[low] + (values[high] - values[low]) * fraction
+
     def min(self) -> float:
         return min(self.values())
 

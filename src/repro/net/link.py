@@ -15,6 +15,7 @@ import random
 
 from repro import params
 from repro.net.packet import Frame
+from repro.obs.telemetry import NULL_TELEMETRY
 from repro.sim import Environment, Resource, Store
 
 
@@ -44,7 +45,8 @@ class EthernetSwitch:
                  rate_bps: float = params.GBE_BITS_PER_SECOND,
                  mtu: int = params.GBE_MTU,
                  forward_latency: float = params.SWITCH_LATENCY_SECONDS,
-                 loss: LossModel | None = None):
+                 loss: LossModel | None = None,
+                 telemetry=NULL_TELEMETRY):
         self.env = env
         self.rate_bps = rate_bps
         self.mtu = mtu
@@ -56,6 +58,12 @@ class EthernetSwitch:
         # Metrics.
         self.frames_forwarded = 0
         self.bytes_forwarded = 0
+        registry = telemetry.registry
+        self._m_frames = registry.counter("switch_frames_forwarded_total")
+        self._m_bytes = registry.counter("switch_bytes_forwarded_total")
+        self._m_dropped = registry.counter(
+            "switch_frames_dropped_total",
+            help="frames lost by the switch's loss model")
 
     def attach(self, name: str, nic) -> None:
         if name in self._ports:
@@ -90,6 +98,7 @@ class EthernetSwitch:
             yield self.env.timeout(self.serialization_time(frame))
 
         if self.loss.drops(frame):
+            self._m_dropped.inc()
             return False
 
         self.env.process(self._forward(frame, destination),
@@ -133,6 +142,8 @@ class EthernetSwitch:
                     yield self.env.timeout(per_chunk)
             self.frames_forwarded += frames
             self.bytes_forwarded += wire_bytes
+            self._m_frames.inc(frames)
+            self._m_bytes.inc(wire_bytes)
             destination.deliver(Frame(src, dst, payload,
                                       per_frame_payload))
             rx_done.succeed()
@@ -154,4 +165,6 @@ class EthernetSwitch:
             yield self.env.timeout(self.serialization_time(frame))
         self.frames_forwarded += 1
         self.bytes_forwarded += frame.wire_bytes
+        self._m_frames.inc()
+        self._m_bytes.inc(frame.wire_bytes)
         destination.deliver(frame)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.net.link import EthernetSwitch
 from repro.net.packet import Frame
+from repro.obs.telemetry import NULL_TELEMETRY
 from repro.sim import Environment, Store
 
 
@@ -18,7 +19,8 @@ class Nic:
     """One network interface attached to a switch port."""
 
     def __init__(self, env: Environment, switch: EthernetSwitch, name: str,
-                 rx_ring_size: int = 256, model: str = "intel-pro1000"):
+                 rx_ring_size: int = 256, model: str = "intel-pro1000",
+                 telemetry=NULL_TELEMETRY):
         self.env = env
         self.switch = switch
         self.name = name
@@ -31,6 +33,17 @@ class Nic:
         self.rx_frames = 0
         self.rx_bytes = 0
         self.rx_dropped = 0
+        registry = telemetry.registry
+        self._m_tx_bytes = registry.counter("net_tx_bytes_total",
+                                            nic=name)
+        self._m_rx_bytes = registry.counter("net_rx_bytes_total",
+                                            nic=name)
+        self._m_rx_dropped = registry.counter(
+            "net_rx_dropped_total", nic=name,
+            help="frames dropped on RX ring overflow")
+        self._m_queue_depth = registry.gauge(
+            "net_rx_queue_depth", nic=name,
+            help="RX ring occupancy sampled at every delivery")
 
     def __repr__(self):
         return f"<Nic {self.name} ({self.model})>"
@@ -44,6 +57,7 @@ class Nic:
         delivered = yield from self.switch.transmit(frame)
         self.tx_frames += 1
         self.tx_bytes += frame.wire_bytes
+        self._m_tx_bytes.inc(frame.wire_bytes)
         return delivered
 
     # -- receive ----------------------------------------------------------------
@@ -52,11 +66,14 @@ class Nic:
         """Switch-side entry: enqueue into the RX ring, drop on overflow."""
         if self.rx_ring.is_full:
             self.rx_dropped += 1
+            self._m_rx_dropped.inc()
             return
         self.rx_frames += 1
         self.rx_bytes += frame.wire_bytes
+        self._m_rx_bytes.inc(frame.wire_bytes)
         # Non-blocking: ring has space, the put succeeds immediately.
         self.rx_ring.put(frame)
+        self._m_queue_depth.set(len(self.rx_ring))
 
     def recv(self):
         """Generator: block until a frame arrives; returns it."""

@@ -1,0 +1,46 @@
+"""Deployment telemetry: labeled metrics, phase spans, exporters.
+
+Usage::
+
+    env = Environment()
+    telemetry = Telemetry(env)
+    testbed = build_testbed(env=env, telemetry=telemetry)
+    ...
+    telemetry.write("metrics.json")     # or .prom
+    print(telemetry.summary())
+
+Everything defaults to :data:`NULL_TELEMETRY` (zero-cost no-ops), so
+simulations that don't ask for telemetry are unchanged.
+"""
+
+from repro.obs.export import (
+    telemetry_summary,
+    telemetry_to_dict,
+    telemetry_to_prometheus,
+    write_json,
+)
+from repro.obs.registry import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    Series,
+)
+from repro.obs.spans import (
+    AMBIENT,
+    NULL_TRACER,
+    NullSpanTracer,
+    Span,
+    SpanTracer,
+)
+from repro.obs.telemetry import NULL_TELEMETRY, NullTelemetry, Telemetry
+
+__all__ = [
+    "AMBIENT", "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "NullRegistry", "NullSpanTracer", "NullTelemetry", "NULL_REGISTRY",
+    "NULL_TELEMETRY", "NULL_TRACER", "Series", "Span", "SpanTracer",
+    "Telemetry", "telemetry_summary", "telemetry_to_dict",
+    "telemetry_to_prometheus", "write_json",
+]

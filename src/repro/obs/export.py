@@ -1,0 +1,225 @@
+"""Exporters: JSON dump, Prometheus text exposition, and a CLI summary.
+
+The JSON document is the machine-readable record a bench or CI run
+archives; the Prometheus format is what a scrape endpoint would serve;
+the summary is what ``python -m repro metrics`` prints for humans.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.metrics.report import format_table
+
+
+def telemetry_to_dict(telemetry) -> dict:
+    """The full JSON-serializable telemetry document."""
+    env = telemetry.env
+    registry = telemetry.registry
+    document = {
+        "sim": {
+            "now": env.now,
+            "events_processed": getattr(env, "events_processed", 0),
+            "processes_spawned": getattr(env, "processes_spawned", 0),
+        },
+        "counters": [
+            {"name": counter.name, "labels": dict(counter.labels),
+             "value": counter.value}
+            for counter in registry.collect("counter")
+        ],
+        "gauges": [
+            {"name": gauge.name, "labels": dict(gauge.labels),
+             "value": gauge.value, "min": gauge.min, "max": gauge.max}
+            for gauge in registry.collect("gauge")
+        ],
+        "histograms": [
+            {"name": histogram.name, "labels": dict(histogram.labels),
+             "unit": histogram.unit,
+             **histogram.summary(),
+             "buckets": [[bound, count] for bound, count
+                         in histogram.bucket_bounds()]}
+            for histogram in registry.collect("histogram")
+        ],
+        "series": [_series_to_dict(series)
+                   for series in registry.collect("series")],
+    }
+    document.update(telemetry.tracer.to_dict())
+    return document
+
+
+def _series_to_dict(series) -> dict:
+    entry = {"name": series.name, "labels": dict(series.labels),
+             "unit": series.unit, "samples": len(series)}
+    if len(series):
+        ts = series.series
+        entry.update({
+            "mean": ts.mean(),
+            "time_weighted_mean": ts.time_weighted_mean(),
+            "min": ts.min(),
+            "max": ts.max(),
+            "p50": ts.percentile(0.50),
+            "p95": ts.percentile(0.95),
+            "p99": ts.percentile(0.99),
+        })
+    return entry
+
+
+def write_json(telemetry, path) -> None:
+    with open(path, "w") as handle:
+        json.dump(telemetry_to_dict(telemetry), handle, indent=2,
+                  sort_keys=True)
+        handle.write("\n")
+
+
+# -- Prometheus text exposition ------------------------------------------------------
+
+
+def _label_string(labels, extra: dict | None = None) -> str:
+    pairs = list(labels) + sorted((extra or {}).items())
+    if not pairs:
+        return ""
+    rendered = ",".join(
+        f'{key}="{_escape(str(value))}"' for key, value in pairs)
+    return "{" + rendered + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r'\"') \
+                .replace("\n", r"\n")
+
+
+def telemetry_to_prometheus(telemetry) -> str:
+    """Prometheus text-format exposition of the registry."""
+    lines: list[str] = []
+    seen_types: set = set()
+    registry = telemetry.registry
+
+    def declare(name: str, kind: str, help: str) -> None:
+        if name in seen_types:
+            return
+        seen_types.add(name)
+        if help:
+            lines.append(f"# HELP {name} {help}")
+        lines.append(f"# TYPE {name} {kind}")
+
+    for counter in registry.collect("counter"):
+        declare(counter.name, "counter", counter.help)
+        lines.append(f"{counter.name}{_label_string(counter.labels)} "
+                     f"{_number(counter.value)}")
+
+    for gauge in registry.collect("gauge"):
+        declare(gauge.name, "gauge", gauge.help)
+        lines.append(f"{gauge.name}{_label_string(gauge.labels)} "
+                     f"{_number(gauge.value)}")
+
+    for histogram in registry.collect("histogram"):
+        declare(histogram.name, "histogram", histogram.help)
+        cumulative = 0
+        for bound, count in histogram.bucket_bounds():
+            cumulative += count
+            lines.append(
+                f"{histogram.name}_bucket"
+                f"{_label_string(histogram.labels, {'le': _number(bound)})}"
+                f" {cumulative}")
+        lines.append(
+            f"{histogram.name}_bucket"
+            f"{_label_string(histogram.labels, {'le': '+Inf'})}"
+            f" {histogram.count}")
+        lines.append(f"{histogram.name}_sum"
+                     f"{_label_string(histogram.labels)} "
+                     f"{_number(histogram.sum)}")
+        lines.append(f"{histogram.name}_count"
+                     f"{_label_string(histogram.labels)} "
+                     f"{histogram.count}")
+
+    for series in registry.collect("series"):
+        name = series.name
+        declare(name, "gauge", series.help)
+        if len(series):
+            ts = series.series
+            last_time, last_value = ts.samples[-1]
+            lines.append(f"{name}{_label_string(series.labels)} "
+                         f"{_number(last_value)}")
+
+    return "\n".join(lines) + "\n"
+
+
+def _number(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+# -- human summary -------------------------------------------------------------------
+
+
+def telemetry_summary(telemetry, span_limit: int = 40) -> str:
+    """The ``repro metrics`` report: phases, counters, percentiles."""
+    sections: list[str] = []
+    now = telemetry.env.now
+
+    span_rows = []
+    for span in telemetry.tracer.walk():
+        if len(span_rows) >= span_limit:
+            break
+        depth = 0
+        parent = span.parent
+        while parent is not None:
+            depth += 1
+            parent = parent.parent
+        end = span.end if span.end is not None else now
+        span_rows.append(["  " * depth + span.name,
+                          round(span.start, 3), round(end, 3),
+                          round(end - span.start, 3)])
+    if span_rows:
+        sections.append(format_table(
+            ["span", "start (s)", "end (s)", "duration (s)"], span_rows,
+            title="Deployment span tree"))
+
+    counter_rows = [
+        [counter.name, _label_suffix(counter.labels),
+         _number(counter.value)]
+        for counter in telemetry.registry.collect("counter")
+        if counter.value]
+    if counter_rows:
+        sections.append(format_table(["counter", "labels", "value"],
+                                     counter_rows, title="Counters"))
+
+    gauge_rows = [
+        [gauge.name, _label_suffix(gauge.labels), _number(gauge.value),
+         _number(gauge.max if gauge.max is not None else 0.0)]
+        for gauge in telemetry.registry.collect("gauge")]
+    if gauge_rows:
+        sections.append(format_table(["gauge", "labels", "last", "max"],
+                                     gauge_rows, title="Gauges"))
+
+    histogram_rows = []
+    for histogram in telemetry.registry.collect("histogram"):
+        if not histogram.count:
+            continue
+        summary = histogram.summary()
+        histogram_rows.append([
+            histogram.name, _label_suffix(histogram.labels),
+            summary["count"],
+            _round_sig(summary["mean"]), _round_sig(summary["p50"]),
+            _round_sig(summary["p95"]), _round_sig(summary["p99"]),
+        ])
+    if histogram_rows:
+        sections.append(format_table(
+            ["histogram", "labels", "n", "mean", "p50", "p95", "p99"],
+            histogram_rows, title="Latency histograms (seconds)"))
+
+    if not sections:
+        return "(no telemetry recorded)"
+    return "\n\n".join(sections)
+
+
+def _label_suffix(labels) -> str:
+    return ",".join(f"{key}={value}" for key, value in labels) or "-"
+
+
+def _round_sig(value: float, digits: int = 4) -> float:
+    if value == 0:
+        return 0.0
+    from math import floor, log10
+    return round(value, digits - 1 - floor(log10(abs(value))))

@@ -1,0 +1,198 @@
+"""Hierarchical span tracing keyed on simulated time.
+
+A :class:`Span` is one timed operation — a deployment phase, an AoE
+round-trip, a mediated command.  Spans form a tree: the provisioner
+opens a ``deploy:<method>`` root, the VMM's phase machine keeps one
+phase span open at a time, and short-lived operations attach to
+whichever span is *ambient* when they start.
+
+The ambient pointer (rather than a call stack) is deliberate: the
+simulation interleaves many generator processes, so "the enclosing
+call" is meaningless — but "the deployment phase in effect right now"
+is exactly the parent an AoE round-trip belongs under.
+
+Like every part of the telemetry subsystem, tracing is purely
+observational (it reads ``env.now``, never schedules), so spans cannot
+perturb the simulated timeline.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+
+class Span:
+    """One timed node in the trace tree."""
+
+    __slots__ = ("name", "start", "end", "parent", "children", "attrs")
+
+    def __init__(self, name: str, start: float, parent=None,
+                 attrs: dict | None = None):
+        self.name = name
+        self.start = start
+        self.end: float | None = None
+        self.parent = parent
+        self.children: list = []
+        self.attrs = attrs or {}
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    def duration(self, now: float | None = None) -> float:
+        end = self.end if self.end is not None else now
+        if end is None:
+            raise ValueError(f"span {self.name!r} still open")
+        return end - self.start
+
+    def to_dict(self, now: float | None = None) -> dict:
+        node = {"name": self.name, "start": self.start, "end": self.end}
+        if self.end is None and now is not None:
+            node["end"] = now
+            node["open"] = True
+        if node["end"] is not None:
+            node["duration"] = node["end"] - self.start
+        if self.attrs:
+            node["attrs"] = dict(self.attrs)
+        if self.children:
+            node["children"] = [child.to_dict(now)
+                                for child in self.children]
+        return node
+
+    def __repr__(self):
+        end = f"{self.end:.6f}" if self.end is not None else "open"
+        return f"<Span {self.name} [{self.start:.6f}, {end}]>"
+
+
+#: Sentinel: "attach to whatever span is ambient right now".
+AMBIENT = object()
+
+
+class SpanTracer:
+    """Records the span tree against the simulation clock.
+
+    ``capacity`` bounds the total recorded span count (a multi-gigabyte
+    background copy makes hundreds of thousands of AoE round-trips);
+    once full, new spans become invisible placeholders and
+    ``dropped_spans`` counts them — totals live in the metrics
+    registry, which never drops.  Structural spans — roots and their
+    direct children, i.e. the deployment phases — are exempt, so a
+    late phase transition (de-virtualization) is never evicted by a
+    flood of earlier leaf spans.
+    """
+
+    enabled = True
+
+    def __init__(self, env, capacity: int = 10_000):
+        self.env = env
+        self.capacity = capacity
+        self.roots: list[Span] = []
+        self.dropped_spans = 0
+        self._recorded = 0
+        #: The span new work should attach to by default (the current
+        #: deployment phase); maintained by the phase machine.
+        self.ambient: Span | None = None
+
+    # -- recording ---------------------------------------------------------------
+
+    def start(self, name: str, parent=AMBIENT, **attrs) -> Span:
+        """Open a span now; attach to ``parent`` (default: ambient)."""
+        if parent is AMBIENT:
+            parent = self.ambient
+        structural = parent is None or parent.parent is None
+        if self._recorded >= self.capacity and not structural:
+            self.dropped_spans += 1
+            return Span(name, self.env.now, parent=None, attrs=attrs)
+        self._recorded += 1
+        span = Span(name, self.env.now, parent=parent, attrs=attrs)
+        if parent is None:
+            self.roots.append(span)
+        else:
+            parent.children.append(span)
+        return span
+
+    def end(self, span: Span, **attrs) -> Span:
+        """Close a span now (idempotent; late attrs are merged in)."""
+        if span.end is None:
+            span.end = self.env.now
+        if attrs:
+            span.attrs.update(attrs)
+        return span
+
+    @contextmanager
+    def span(self, name: str, parent=AMBIENT, **attrs):
+        """``with tracer.span("os-boot"):`` convenience wrapper."""
+        span = self.start(name, parent=parent, **attrs)
+        try:
+            yield span
+        finally:
+            self.end(span)
+
+    # -- reading -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._recorded
+
+    def walk(self):
+        """Depth-first iteration over every recorded span."""
+        stack = list(reversed(self.roots))
+        while stack:
+            span = stack.pop()
+            yield span
+            stack.extend(reversed(span.children))
+
+    def find(self, name: str) -> list:
+        return [span for span in self.walk() if span.name == name]
+
+    def to_dict(self) -> dict:
+        return {
+            "spans": [root.to_dict(self.env.now) for root in self.roots],
+            "recorded": self._recorded,
+            "dropped": self.dropped_spans,
+        }
+
+
+class NullSpanTracer:
+    """Disabled tracer: no-ops and a write-proof ambient pointer."""
+
+    enabled = False
+    capacity = 0
+    roots: tuple = ()
+    dropped_spans = 0
+
+    _NULL_SPAN = Span("null", 0.0)
+
+    @property
+    def ambient(self):
+        return None
+
+    @ambient.setter
+    def ambient(self, value):
+        # Silently ignored: the shared NULL_TRACER must stay stateless.
+        pass
+
+    def start(self, name: str, parent=AMBIENT, **attrs) -> Span:
+        return self._NULL_SPAN
+
+    def end(self, span: Span, **attrs) -> Span:
+        return span
+
+    @contextmanager
+    def span(self, name: str, parent=AMBIENT, **attrs):
+        yield self._NULL_SPAN
+
+    def __len__(self) -> int:
+        return 0
+
+    def walk(self):
+        return iter(())
+
+    def find(self, name: str) -> list:
+        return []
+
+    def to_dict(self) -> dict:
+        return {"spans": [], "recorded": 0, "dropped": 0}
+
+
+#: Shared disabled tracer.
+NULL_TRACER = NullSpanTracer()

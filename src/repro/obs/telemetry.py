@@ -1,0 +1,77 @@
+"""The telemetry bundle every layer receives: registry + span tracer.
+
+One :class:`Telemetry` instance is created per simulation (by the CLI
+or a bench) and threaded through the testbed into NICs, the AoE
+endpoints, the mediators, and the copier.  Every constructor defaults
+to the shared :data:`NULL_TELEMETRY`, which makes all recording a no-op
+— the deployment timeline is byte-for-byte identical with telemetry on,
+off, or absent, because instruments only *read* the clock.
+"""
+
+from __future__ import annotations
+
+from repro.obs.export import (
+    telemetry_summary,
+    telemetry_to_dict,
+    telemetry_to_prometheus,
+    write_json,
+)
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
+from repro.obs.spans import NULL_TRACER, SpanTracer
+
+
+class Telemetry:
+    """Live telemetry for one simulation environment."""
+
+    enabled = True
+
+    def __init__(self, env, span_capacity: int = 10_000):
+        self.env = env
+        self.registry = MetricsRegistry()
+        self.tracer = SpanTracer(env, capacity=span_capacity)
+
+    def to_dict(self) -> dict:
+        return telemetry_to_dict(self)
+
+    def to_prometheus(self) -> str:
+        return telemetry_to_prometheus(self)
+
+    def summary(self) -> str:
+        return telemetry_summary(self)
+
+    def write(self, path) -> None:
+        """Dump to ``path``: Prometheus text for ``.prom``, else JSON."""
+        if str(path).endswith(".prom"):
+            with open(path, "w") as handle:
+                handle.write(self.to_prometheus())
+        else:
+            write_json(self, path)
+
+
+class NullTelemetry:
+    """Disabled bundle; shared, stateless, and write-proof."""
+
+    enabled = False
+    env = None
+    registry = NULL_REGISTRY
+    tracer = NULL_TRACER
+
+    def to_dict(self) -> dict:
+        return {"sim": {}, "counters": [], "gauges": [],
+                "histograms": [], "series": [], "spans": [],
+                "recorded": 0, "dropped": 0}
+
+    def to_prometheus(self) -> str:
+        return ""
+
+    def summary(self) -> str:
+        return "(telemetry disabled)"
+
+    def write(self, path) -> None:
+        raise RuntimeError(
+            "telemetry is disabled; build a Telemetry(env) and pass it "
+            "through build_testbed(telemetry=...) to record metrics")
+
+
+#: Shared disabled instance — the default everywhere.
+NULL_TELEMETRY = NullTelemetry()

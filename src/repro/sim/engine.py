@@ -41,6 +41,11 @@ class Environment:
         self._queue: list = []
         self._eid = count()
         self._active_process: Process | None = None
+        # Engine throughput counters (always on: two integer increments
+        # per event are cheaper than routing telemetry through here, and
+        # they let any report answer "how much work did this sim do").
+        self.events_processed = 0
+        self.processes_spawned = 0
 
     # -- clock and introspection ------------------------------------------
 
@@ -69,6 +74,7 @@ class Environment:
 
     def process(self, generator, name: str | None = None) -> Process:
         """Start ``generator`` as a new simulation process."""
+        self.processes_spawned += 1
         return Process(self, generator, name=name)
 
     def all_of(self, events) -> AllOf:
@@ -95,6 +101,7 @@ class Environment:
             self._now, _, _, event = heappop(self._queue)
         except IndexError:
             raise EmptySchedule() from None
+        self.events_processed += 1
 
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:

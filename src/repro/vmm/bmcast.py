@@ -21,6 +21,7 @@ from repro.aoe.client import AoeInitiator
 from repro.hw.cpu import ExitReason
 from repro.hw.platform import PlatformCondition
 from repro.metrics.eventlog import NULL_LOG, EventLog
+from repro.obs.telemetry import NULL_TELEMETRY
 from repro.sim import Environment
 from repro.vmm.bitmap import BlockBitmap
 from repro.vmm.copier import BackgroundCopier
@@ -65,7 +66,8 @@ class BmcastVmm:
                  release_memory: bool = False,
                  prefetch_lbas=None,
                  extra_mediators=(),
-                 trace: bool = False):
+                 trace: bool = False,
+                 telemetry=NULL_TELEMETRY):
         self.env = env
         self.machine = machine
         self.vmm_nic = vmm_nic
@@ -88,8 +90,15 @@ class BmcastVmm:
                 poll_interval = params.SOFT_TIMER_INTERVAL_SECONDS
         self.poll_interval = poll_interval
 
+        #: Metrics registry + span tracer (opt-in; see repro.obs).
+        self.telemetry = telemetry
+        #: Parent for this VMM's phase spans: whatever deployment span
+        #: is ambient at construction (the provisioner's root), if any.
+        self._span_parent = telemetry.tracer.ambient
+        self._phase_span = None
         self.initiator = AoeInitiator(env, vmm_nic, server,
-                                      poll_interval=poll_interval)
+                                      poll_interval=poll_interval,
+                                      telemetry=telemetry)
         self.bitmap = BlockBitmap(image_sectors)
         #: Structured event log (opt-in; see repro.metrics.eventlog).
         self.tracer = EventLog(env) if trace else NULL_LOG
@@ -99,6 +108,7 @@ class BmcastVmm:
             protected_lba=image_sectors + 8,
             protected_sectors=64,
             tracer=self.tracer,
+            telemetry=telemetry,
         )
         self.mediator = self._build_mediator()
         prefetch_blocks = None
@@ -191,6 +201,14 @@ class BmcastVmm:
         self.phase = phase
         self.phase_log.append((self.env.now, phase))
         self.tracer.log("phase", f"entered {phase}")
+        # One phase span open at a time; new work (AoE round-trips,
+        # mediated commands, the copier) attaches to the current phase.
+        spans = self.telemetry.tracer
+        if self._phase_span is not None:
+            spans.end(self._phase_span)
+        self._phase_span = spans.start(f"phase:{phase}",
+                                       parent=self._span_parent)
+        spans.ambient = self._phase_span
 
     def phase_at(self, time: float) -> str:
         current = self.phase_log[0][1]

@@ -54,6 +54,30 @@ class BackgroundCopier:
         self.fetch_errors = 0
         self.started_at: float | None = None
         self.finished_at: float | None = None
+        self.telemetry = deployment.telemetry
+        registry = self.telemetry.registry
+        self._m_blocks_filled = registry.gauge(
+            "copy_blocks_filled",
+            help="image blocks made local by the background copy")
+        self._m_progress = registry.gauge(
+            "copy_progress_ratio",
+            help="fraction of the image present on the local disk")
+        self._m_bytes_written = registry.counter(
+            "copy_bytes_written_total",
+            help="bytes the background copy wrote to the local disk")
+        self._m_writeback_bytes = registry.counter(
+            "copy_writeback_bytes_total",
+            help="copy-on-read bytes persisted by the writer thread")
+        self._m_suspensions = registry.counter(
+            "copy_suspensions_total",
+            help="moderation suspensions taken before VMM writes")
+        self._m_fetch_errors = registry.counter(
+            "copy_fetch_errors_total",
+            help="block fetches abandoned after the AoE retry budget")
+        self._m_throughput = registry.series(
+            "copy_throughput_bytes_per_second", unit="B/s",
+            help="background-copy write rate sampled per filled block")
+        self._span = None
 
     # -- lifecycle -----------------------------------------------------------------
 
@@ -61,6 +85,9 @@ class BackgroundCopier:
         if self._retriever is not None:
             raise RuntimeError("copier already started")
         self.started_at = self.env.now
+        self._span = self.telemetry.tracer.start(
+            "background-copy",
+            blocks=self.deployment.bitmap.block_count)
         self._retriever = self.env.process(self._retrieve_loop(),
                                            name="copier-retriever")
         self._writer = self.env.process(self._write_loop(),
@@ -73,6 +100,15 @@ class BackgroundCopier:
                 process.interrupt("stop")
         self._retriever = None
         self._writer = None
+        self._end_span()
+
+    def _end_span(self) -> None:
+        if self._span is not None:
+            self.telemetry.tracer.end(
+                self._span, blocks_filled=self.blocks_filled,
+                bytes_written=self.bytes_written,
+                writeback_bytes=self.writeback_bytes)
+            self._span = None
 
     @property
     def running(self) -> bool:
@@ -107,6 +143,7 @@ class BackgroundCopier:
                     # back).
                     bitmap.release_claim(block)
                     self.fetch_errors += 1
+                    self._m_fetch_errors.inc()
                     yield self.env.timeout(
                         self.FETCH_RETRY_BACKOFF_SECONDS)
                     continue
@@ -170,6 +207,7 @@ class BackgroundCopier:
         except Interrupt:
             return
         self.finished_at = self.env.now
+        self._end_span()
         if not self.done.triggered:
             self.done.succeed(self.env.now)
 
@@ -182,6 +220,7 @@ class BackgroundCopier:
         policy = self.policy
         if policy.is_suspended(self.deployment):
             self.suspensions += 1
+            self._m_suspensions.inc()
             yield self.env.timeout(policy.suspend_interval)
         elif policy.write_interval > 0:
             yield self.env.timeout(policy.write_interval)
@@ -212,9 +251,14 @@ class BackgroundCopier:
         written = sum(end - begin for begin, end, _ in
                       request.buffer.runs)
         self.bytes_written += written * params.SECTOR_BYTES
+        self._m_bytes_written.inc(written * params.SECTOR_BYTES)
         try:
             bitmap.commit_fill(block)
             self.blocks_filled += 1
+            self._m_blocks_filled.set(self.blocks_filled)
+            self._m_progress.set(bitmap.filled_count
+                                 / bitmap.block_count)
+            self._m_throughput.record(self.env.now, self.write_rate())
             if self.blocks_filled % 256 == 0 or bitmap.complete:
                 self.deployment.tracer.log(
                     "copy", "background copy progress",
@@ -234,6 +278,8 @@ class BackgroundCopier:
         excluded at write time, under device ownership.
         """
         bitmap = self.deployment.bitmap
+        span = self.telemetry.tracer.start("write-back", lba=lba,
+                                           sectors=sector_count)
         request = BlockRequest(BlockOp.WRITE, lba, sector_count,
                                origin="vmm")
         request.buffer.runs = list(runs)
@@ -257,6 +303,8 @@ class BackgroundCopier:
         written = sum(end - begin for begin, end, _ in
                       request.buffer.runs)
         self.writeback_bytes += written * params.SECTOR_BYTES
+        self._m_writeback_bytes.inc(written * params.SECTOR_BYTES)
+        self.telemetry.tracer.end(span)
 
     # -- reporting ------------------------------------------------------------------------------
 

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from repro import params
 from repro.aoe.client import AoeInitiator
 from repro.metrics.eventlog import NULL_LOG
+from repro.obs.telemetry import NULL_TELEMETRY
 from repro.sim import Environment
 from repro.storage.blockdev import BlockOp
 from repro.vmm.bitmap import BlockBitmap
@@ -38,13 +39,22 @@ class DeploymentContext:
                  dummy_lba: int | None = None,
                  protected_lba: int | None = None,
                  protected_sectors: int = 0,
-                 tracer=NULL_LOG):
+                 tracer=NULL_LOG,
+                 telemetry=NULL_TELEMETRY):
         self.env = env
         self.bitmap = bitmap
         self.initiator = initiator
         self.poll_interval = poll_interval
         #: Structured event tracer (a no-op unless tracing is enabled).
         self.tracer = tracer
+        #: Metrics/span telemetry shared by mediator and copier.
+        self.telemetry = telemetry
+        self._m_fetch_latency = telemetry.registry.histogram(
+            "redirect_fetch_seconds",
+            help="server fetch latency for redirected guest reads")
+        self._m_redirected_bytes = telemetry.registry.counter(
+            "redirected_bytes_total",
+            help="bytes served to the guest from the storage server")
         #: Sector the dummy-completion reads target (defaults to the
         #: sector right after the image, which is otherwise unused).
         self.dummy_lba = dummy_lba if dummy_lba is not None \
@@ -96,6 +106,8 @@ class DeploymentContext:
         start = self.env.now
         runs = yield from self.initiator.read_blocks(lba, sector_count)
         self.redirected_bytes += sector_count * params.SECTOR_BYTES
+        self._m_redirected_bytes.inc(sector_count * params.SECTOR_BYTES)
+        self._m_fetch_latency.observe(self.env.now - start)
         self.redirects.append(RedirectRecord(
             time=start, lba=lba, sector_count=sector_count,
             latency=self.env.now - start))

@@ -97,6 +97,30 @@ class DeviceMediator:
         self.multiplexed_requests = 0
         self.queued_guest_commands = 0
         self.dummy_completions = 0
+        # Labeled telemetry, shared through the deployment context.
+        self.telemetry = deployment.telemetry
+        registry = self.telemetry.registry
+        controller = machine.disk_controller
+        kind = controller.kind if controller is not None else "none"
+        self.controller_kind = kind
+        self._m_interpreted = registry.counter(
+            "mediator_interpreted_commands_total", controller=kind,
+            help="guest commands decoded from register traffic")
+        self._m_redirected = registry.counter(
+            "mediator_redirected_reads_total", controller=kind,
+            help="guest reads served from the server (copy-on-read)")
+        self._m_multiplexed = registry.counter(
+            "mediator_multiplexed_requests_total", controller=kind,
+            help="VMM requests slipped into device idle gaps")
+        self._m_queued = registry.counter(
+            "mediator_queued_commands_total", controller=kind,
+            help="guest commands absorbed while the VMM owned the device")
+        self._m_redirect_latency = registry.histogram(
+            "mediated_read_latency_seconds", controller=kind,
+            help="guest-visible latency of a redirected read")
+        self._m_multiplex_latency = registry.histogram(
+            "vmm_multiplexed_request_seconds", controller=kind,
+            help="lock-to-release time of a VMM multiplexed request")
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -137,6 +161,7 @@ class DeviceMediator:
         ``"protect"``.
         """
         self.interpreted_commands += 1
+        self._m_interpreted.inc()
         self.deployment.note_guest_io(request.op, request.lba)
         is_protected = self.deployment.overlaps_protected(
             request.lba, request.sector_count)
@@ -164,6 +189,7 @@ class DeviceMediator:
     def queue_guest_command(self, snapshot) -> None:
         self._queued_commands.append(snapshot)
         self.queued_guest_commands += 1
+        self._m_queued.inc()
         self.deployment.tracer.log(
             "queue", "guest command absorbed while VMM owns device")
 
@@ -176,6 +202,10 @@ class DeviceMediator:
         on what it believes is a busy device.
         """
         bitmap = self.deployment.bitmap
+        started = self.env.now
+        span = self.telemetry.tracer.start(
+            "mediated-read", lba=request.lba,
+            sectors=request.sector_count)
         with self._device_lock.request() as grant:
             yield grant
             self.mode = MediatorMode.REDIRECTING
@@ -204,11 +234,14 @@ class DeviceMediator:
                 self.dummy_completions += 1
                 self._deliver_dummy_completion()
                 self.redirected_reads += 1
+                self._m_redirected.inc()
                 self.deployment.tracer.log(
                     "redirect", "served guest read from server",
                     lba=request.lba, sectors=request.sector_count)
             finally:
                 self.mode = MediatorMode.PASSTHROUGH
+                self.telemetry.tracer.end(span)
+                self._m_redirect_latency.observe(self.env.now - started)
         # Replay anything the guest issued while we were redirecting
         # (possible if the guest OS overlaps I/O across CPUs).
         yield from self._drain_queue()
@@ -258,6 +291,10 @@ class DeviceMediator:
         device while the VMM is still waiting for it to go idle.
         """
         request.origin = "vmm"
+        started = self.env.now
+        span = self.telemetry.tracer.start(
+            "vmm-request", op=request.op.value, lba=request.lba,
+            sectors=request.sector_count)
         with self._device_lock.request() as grant:
             yield grant
             # 1. Find proper timing: wait until the device is idle.
@@ -279,6 +316,7 @@ class DeviceMediator:
                     yield from self._issue_raw_and_poll(request,
                                                         request.buffer)
                     self.multiplexed_requests += 1
+                    self._m_multiplexed.inc()
             finally:
                 # 3. Hide all evidence: ack the device, restore the
                 #    guest-visible register state, drop the suppressed
@@ -289,6 +327,8 @@ class DeviceMediator:
                     interrupts.clear_pending(self.irq_line)
                 interrupts.unmask(self.irq_line)
                 self.mode = MediatorMode.PASSTHROUGH
+                self.telemetry.tracer.end(span)
+                self._m_multiplex_latency.observe(self.env.now - started)
         # 4. Send queued guest requests to the device.
         yield from self._drain_queue()
         return request

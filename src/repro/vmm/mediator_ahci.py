@@ -28,6 +28,9 @@ class AhciMediator(DeviceMediator):
         if self.controller.kind != "ahci":
             raise TypeError("AhciMediator requires an AHCI controller")
         self.irq_line = self.controller.irq_line
+        #: Every trapped ABAR access — the raw interpretation workload.
+        self._m_intercepts = self.telemetry.registry.counter(
+            "mediator_io_intercepts_total", controller="ahci")
         # Shadow port registers (interpretation).
         self.shadow_pxclb = 0
         self.shadow_pxie = 0
@@ -67,6 +70,7 @@ class AhciMediator(DeviceMediator):
     # -- the intercept hook -----------------------------------------------------------
 
     def _hook(self, access):
+        self._m_intercepts.inc()
         offset = access.address - self.controller.abar
         if access.is_write:
             yield from self._hook_write(access, offset)

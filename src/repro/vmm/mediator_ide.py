@@ -53,6 +53,11 @@ class IdeMediator(DeviceMediator):
         # owed a completion (unacked IRQ bit); its ISR must see it.
         self._saved_status = ide.STATUS_DRDY
         self._saved_bm_status = 0
+        #: Every trapped PIO access, including taskfile programming —
+        #: the raw interpretation workload (paper Table 1's "I/O
+        #: interpretation" cost driver).
+        self._m_intercepts = self.telemetry.registry.counter(
+            "mediator_io_intercepts_total", controller="ide")
         # A dummy buffer for restarted reads (1 sector is enough, but the
         # VMM keeps a block-sized one for local overlay reads too).
         self._dummy_buffer = SectorBuffer(0, 65536)
@@ -70,6 +75,7 @@ class IdeMediator(DeviceMediator):
     # -- the intercept hook (runs on every guest access, in root mode) ------------------
 
     def _hook(self, access):
+        self._m_intercepts.inc()
         if access.is_write:
             yield from self._hook_write(access)
         else:

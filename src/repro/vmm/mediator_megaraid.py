@@ -35,6 +35,9 @@ class MegaRaidMediator(DeviceMediator):
             raise TypeError(
                 "MegaRaidMediator requires a MegaRAID controller")
         self.irq_line = self.controller.irq_line
+        #: Every trapped MFI-window access — the interpretation workload.
+        self._m_intercepts = self.telemetry.registry.counter(
+            "mediator_io_intercepts_total", controller="megaraid")
         self._vmm_contexts = count(VMM_CONTEXT_BASE)
         self._vmm_context_inflight: int | None = None
         # Redirect bookkeeping: the blocked frame (absorbed post).
@@ -62,6 +65,7 @@ class MegaRaidMediator(DeviceMediator):
     # -- the intercept hook --------------------------------------------------------------
 
     def _hook(self, access):
+        self._m_intercepts.inc()
         offset = access.address - self.controller.mmio_base
         if access.is_write:
             yield from self._hook_write(access, offset)

@@ -53,6 +53,21 @@ def test_null_log_is_inert():
     assert isinstance(NULL_LOG, NullEventLog)
 
 
+def test_null_log_counts_cannot_leak_state():
+    # The old class-level Counter let one caller's mutation show up in
+    # every other NULL_LOG reader; counts is now an immutable view.
+    assert NULL_LOG.counts["anything"] == 0
+    with pytest.raises(TypeError):
+        NULL_LOG.counts["redirect"] += 1
+    with pytest.raises(TypeError):
+        NULL_LOG.counts.update({"redirect": 1})
+    with pytest.raises(TypeError):
+        NULL_LOG.counts.clear()
+    assert NULL_LOG.counts["anything"] == 0
+    assert NullEventLog().counts is NULL_LOG.counts
+    assert NULL_LOG.records == ()
+
+
 def deploy(trace):
     image = OsImage(size_bytes=16 * MB, boot_read_bytes=1 * MB,
                     boot_think_seconds=0.2)
