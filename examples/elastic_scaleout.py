@@ -1,13 +1,17 @@
-"""Elastic scale-out: the paper's motivating scenario.
+"""Elastic scale-out: the paper's motivating scenario, fabric edition.
 
-A Cassandra tier is serving a write-heavy YCSB workload when load spikes.
-The operator adds a bare-metal node.  With image copying the new node
-takes ~9 minutes of dead time before it serves a single request; with
-BMcast it serves within ~a minute at >90% capacity and silently reaches
-full bare-metal performance when deployment finishes.
+A Cassandra tier is serving a write-heavy YCSB workload when load
+spikes.  Act one: the operator adds ONE bare-metal node — with image
+copying it sits dead for minutes before serving a request; with BMcast
+it serves within ~a minute and silently reaches full bare-metal
+performance when deployment finishes.
 
-This example deploys the new node both ways and prints the capacity the
-cluster gained over time.
+Act two: the spike keeps growing, so the operator adds FOUR nodes at
+once.  A single storage server would divide its bandwidth four ways;
+instead the fleet deploys over the distribution fabric (`repro.dist`)
+— two origin replicas, peer-to-peer chunk serving, launched in waves —
+and the second wave pulls most of the image from the first wave's
+half-deployed nodes rather than the origin.
 
 Run:  python examples/elastic_scaleout.py
 """
@@ -15,6 +19,7 @@ Run:  python examples/elastic_scaleout.py
 from repro import Provisioner, build_testbed
 from repro.apps.kvstore import CASSANDRA, KvStoreServer
 from repro.apps.ycsb import WRITE_HEAVY, YcsbBenchmark
+from repro.cloud import Cluster, WaveScheduler
 from repro.guest.osimage import OsImage
 from repro.metrics.report import format_table
 
@@ -27,7 +32,7 @@ WINDOW = 15.0
 
 
 def scale_out_with(method: str):
-    """Deploy the new node via ``method``; returns (bench, timeline)."""
+    """Deploy the new node via ``method``; returns (bench, ready_after)."""
     testbed = build_testbed(image=OsImage(**IMAGE))
     provisioner = Provisioner(testbed)
     env = testbed.env
@@ -43,8 +48,8 @@ def scale_out_with(method: str):
     return bench, ready_after
 
 
-def main():
-    print("Scaling out a Cassandra tier by one bare-metal node...\n")
+def one_node_race():
+    print("Act 1 — scaling out by ONE bare-metal node...\n")
     results = {}
     for method in ("bmcast", "image-copy"):
         bench, ready_after = scale_out_with(method)
@@ -60,7 +65,7 @@ def main():
     for minute in range(int(OBSERVE_SECONDS // 60)):
         start, end = minute * 60.0, (minute + 1) * 60.0
 
-        def served(bench, ready):
+        def served(bench):
             try:
                 return bench.throughput.mean_between(start, end) / 1e3
             except ValueError:
@@ -68,8 +73,8 @@ def main():
 
         rows.append([
             f"{minute + 1}",
-            round(served(bmcast_bench, bmcast_ready), 1),
-            round(served(copy_bench, copy_ready), 1),
+            round(served(bmcast_bench), 1),
+            round(served(copy_bench), 1),
         ])
     print(format_table(
         ["minute after ready", "BMcast KT/s", "image-copy KT/s"], rows,
@@ -77,12 +82,52 @@ def main():
         "(time axis starts when each node is ready)"))
 
     total_bmcast = sum(bmcast_bench.throughput.values()) * WINDOW
-    total_copy = sum(copy_bench.throughput.values()) * WINDOW
     lead = copy_ready - bmcast_ready
     print(f"\nBMcast's node came up {lead:.0f}s earlier and had served "
           f"~{total_bmcast / 1e6:.0f}M extra requests by the time the "
           f"image-copy node finished booting.")
     print(f"(Peak per-node rate: {peak / 1e3:.1f} KT/s.)")
+
+
+def fleet_scale_out():
+    print("\nAct 2 — the spike keeps growing: FOUR nodes at once, "
+          "over the distribution fabric...\n")
+    testbed = build_testbed(node_count=4, server_count=2, p2p=True,
+                            select_policy="least-outstanding",
+                            image=OsImage(**IMAGE))
+    cluster = Cluster(testbed)
+    scheduler = WaveScheduler(cluster, wave_size=2,
+                              seed_fill_fraction=0.25)
+    env = testbed.env
+
+    def scenario():
+        yield from scheduler.run("bmcast")
+        yield from cluster.wait_deployment_complete()
+
+    env.run(until=env.process(scenario()))
+    assert cluster.verify_all_deployed()
+
+    rows = [
+        [wave.index + 1,
+         " ".join(f"node{i}" for i in wave.node_indexes),
+         round(wave.ready_seconds, 1),
+         f"{wave.live_peer_hit_ratio():.0%}"]
+        for wave in scheduler.waves
+    ]
+    print(format_table(
+        ["wave", "nodes", "ready (s)", "served by peers"], rows,
+        title="Fleet deployment over 2 origin replicas + p2p"))
+    aoe = testbed.switch.bytes_by_protocol.get("aoe", 0)
+    peer = testbed.switch.bytes_by_protocol.get("aoe-peer", 0)
+    print(f"\nWire bytes: origin (aoe) {aoe / 2**20:.0f} MB, "
+          f"peer-to-peer (aoe-peer) {peer / 2**20:.0f} MB — "
+          f"{peer / (aoe + peer):.0%} of image traffic never "
+          f"touched an origin server.")
+
+
+def main():
+    one_node_race()
+    fleet_scale_out()
 
 
 if __name__ == "__main__":

@@ -1,15 +1,17 @@
 """Extended ATA-over-Ethernet protocol: initiator, target, messages."""
 
-from repro.aoe.client import AoeInitiator, AoeTimeoutError
+from repro.aoe.client import AoeInitiator, AoeNakError, AoeTimeoutError
 from repro.aoe.protocol import (
     AoeAck,
     AoeCommand,
     AoeDataFragment,
+    AoeNak,
     ReassemblyBuffer,
     fragment_count,
     sectors_per_frame,
     split_read_reply,
 )
+from repro.aoe.rtt import RttEstimator
 from repro.aoe.server import AoeServer, ImageStore
 
 __all__ = [
@@ -17,10 +19,13 @@ __all__ = [
     "AoeCommand",
     "AoeDataFragment",
     "AoeInitiator",
+    "AoeNak",
+    "AoeNakError",
     "AoeServer",
     "AoeTimeoutError",
     "ImageStore",
     "ReassemblyBuffer",
+    "RttEstimator",
     "fragment_count",
     "sectors_per_frame",
     "split_read_reply",

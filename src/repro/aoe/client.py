@@ -16,9 +16,11 @@ from repro.aoe.protocol import (
     AoeAck,
     AoeCommand,
     AoeDataFragment,
+    AoeNak,
     ReassemblyBuffer,
     split_write_payload,
 )
+from repro.aoe.rtt import RttEstimator
 from repro.net.nic import Nic
 from repro.obs.telemetry import NULL_TELEMETRY
 from repro.sim import Environment, Event, Interrupt
@@ -28,14 +30,28 @@ class AoeTimeoutError(Exception):
     """Transaction exceeded the retry budget."""
 
 
+class AoeNakError(Exception):
+    """The target refused the request (peer no longer holds the data)."""
+
+    def __init__(self, tag: int, target: str, reason: str):
+        super().__init__(f"AoE tag {tag} refused by {target}: {reason}")
+        self.tag = tag
+        self.target = target
+        self.reason = reason
+
+
 class _Transaction:
-    def __init__(self, env: Environment, command: AoeCommand):
+    def __init__(self, env: Environment, command: AoeCommand,
+                 target: str, protocol: str):
         self.command = command
+        self.target = target
+        self.protocol = protocol
         self.done = Event(env)
         self.reassembly = ReassemblyBuffer(command.tag)
         self.sent_at = env.now
         self.last_activity = env.now
         self.retries = 0
+        self.nak: AoeNak | None = None
 
 
 class AoeInitiator:
@@ -55,8 +71,7 @@ class AoeInitiator:
         self.poll_interval = poll_interval
         self._tags = count()
         self._pending: dict[int, _Transaction] = {}
-        self._srtt = initial_rto / 2.0
-        self._rttvar = initial_rto / 4.0
+        self.rtt = RttEstimator(initial_rto, min_rto)
         self.min_rto = min_rto
         self._dispatcher = None
         # Metrics.
@@ -101,24 +116,29 @@ class AoeInitiator:
 
     @property
     def rto(self) -> float:
-        return max(self.min_rto, self._srtt + 4.0 * self._rttvar)
+        return self.rtt.rto
 
     @property
     def srtt(self) -> float:
-        return self._srtt
+        return self.rtt.srtt
 
     # -- public operations ----------------------------------------------------------
 
     def read_blocks(self, lba: int, sector_count: int,
-                    bulk: bool = False):
+                    bulk: bool = False, target: str | None = None,
+                    protocol: str = "aoe"):
         """Generator: fetch content runs for a sector range.
 
         ``bulk=True`` selects the aggregate wire path — identical timing,
         far fewer simulation events; used for background-copy streaming.
+        ``target`` overrides the default server port for this one
+        transaction (the distribution fabric routes reads to replicas
+        and peers); ``protocol`` tags the frames for the switch's
+        per-protocol accounting.
         """
         command = AoeCommand(next(self._tags), "read", lba, sector_count,
                              bulk=bulk)
-        transaction = yield from self._transact(command)
+        transaction = yield from self._transact(command, target, protocol)
         self.reads_completed += 1
         runs = transaction.reassembly.assemble()
         self.bytes_received += sector_count * 512
@@ -126,28 +146,31 @@ class AoeInitiator:
         yield from self._poll_quantize()
         return runs
 
-    def write_blocks(self, lba: int, sector_count: int, runs: list):
+    def write_blocks(self, lba: int, sector_count: int, runs: list,
+                     target: str | None = None):
         """Generator: push content runs to the server image."""
         command = AoeCommand(next(self._tags), "write", lba, sector_count,
                              payload_runs=tuple(runs))
-        yield from self._transact(command)
+        yield from self._transact(command, target, "aoe")
         self.writes_completed += 1
         self._m_tx_bytes.inc(sector_count * 512)
         yield from self._poll_quantize()
 
     # -- transaction engine ------------------------------------------------------------
 
-    def _transact(self, command: AoeCommand):
+    def _transact(self, command: AoeCommand, target: str | None = None,
+                  protocol: str = "aoe"):
         if self._dispatcher is None:
             self.start()
-        transaction = _Transaction(self.env, command)
+        transaction = _Transaction(self.env, command,
+                                   target or self.server, protocol)
         self._pending[command.tag] = transaction
         started = self.env.now
         span = self.telemetry.tracer.start(
             f"aoe-{command.op}", lba=command.lba,
-            sectors=command.sector_count)
+            sectors=command.sector_count, target=transaction.target)
         try:
-            yield from self._send_command(command)
+            yield from self._send_command(transaction)
             while not transaction.done.triggered:
                 timer = self.env.timeout(self.rto, value="timeout")
                 outcome = yield self.env.any_of([transaction.done, timer])
@@ -166,16 +189,20 @@ class AoeInitiator:
                 self.retransmissions += 1
                 self._m_retransmissions.inc()
                 # Back off the estimator on loss (Karn-style doubling).
-                self._rttvar *= 2.0
+                self.rtt.back_off()
                 transaction.sent_at = self.env.now
-                yield from self._send_command(command)
+                yield from self._send_command(transaction)
         finally:
             self._pending.pop(command.tag, None)
             self.telemetry.tracer.end(span, retries=transaction.retries)
+        if transaction.nak is not None:
+            raise AoeNakError(command.tag, transaction.target,
+                              transaction.nak.reason)
         self._m_rtt[command.op].observe(self.env.now - started)
         return transaction
 
-    def _send_command(self, command: AoeCommand):
+    def _send_command(self, transaction: _Transaction):
+        command = transaction.command
         if command.op == "write":
             # Data fragments travel first, then the command completes the
             # exchange (wire cost of the payload is paid here).
@@ -183,10 +210,12 @@ class AoeInitiator:
                 command.tag, command.lba, command.sector_count,
                 list(command.payload_runs), self.nic.switch.mtu)
             for fragment in fragments:
-                yield from self.nic.send(self.server, fragment,
-                                         fragment.payload_bytes)
-        yield from self.nic.send(self.server, command,
-                                 command.frame_bytes())
+                yield from self.nic.send(transaction.target, fragment,
+                                         fragment.payload_bytes,
+                                         protocol=transaction.protocol)
+        yield from self.nic.send(transaction.target, command,
+                                 command.frame_bytes(),
+                                 protocol=transaction.protocol)
 
     def _dispatch(self):
         try:
@@ -197,6 +226,8 @@ class AoeInitiator:
                     self._on_fragment(payload)
                 elif isinstance(payload, AoeAck):
                     self._on_ack(payload)
+                elif isinstance(payload, AoeNak):
+                    self._on_nak(payload)
         except Interrupt:
             return
 
@@ -207,21 +238,27 @@ class AoeInitiator:
         transaction.last_activity = self.env.now
         transaction.reassembly.add(fragment)
         if transaction.reassembly.complete:
-            self._update_rtt(self.env.now - transaction.sent_at)
+            # Karn's algorithm: a reply to a retransmitted command is
+            # ambiguous — it may answer either copy — so it must not
+            # feed the estimator.
+            if transaction.retries == 0:
+                self.rtt.observe(self.env.now - transaction.sent_at)
             transaction.done.succeed()
 
     def _on_ack(self, ack: AoeAck) -> None:
         transaction = self._pending.get(ack.tag)
         if transaction is None or transaction.done.triggered:
             return
-        self._update_rtt(self.env.now - transaction.sent_at)
+        if transaction.retries == 0:
+            self.rtt.observe(self.env.now - transaction.sent_at)
         transaction.done.succeed()
 
-    def _update_rtt(self, sample: float) -> None:
-        # Jacobson/Karels.
-        error = sample - self._srtt
-        self._srtt += 0.125 * error
-        self._rttvar += 0.25 * (abs(error) - self._rttvar)
+    def _on_nak(self, nak: AoeNak) -> None:
+        transaction = self._pending.get(nak.tag)
+        if transaction is None or transaction.done.triggered:
+            return
+        transaction.nak = nak
+        transaction.done.succeed()
 
     def _poll_quantize(self):
         """Completion is observed at the next VMM polling tick."""

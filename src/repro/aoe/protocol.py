@@ -87,6 +87,24 @@ class AoeAck:
         return params.AOE_HEADER_BYTES
 
 
+@dataclass(frozen=True)
+class AoeNak:
+    """Responder -> initiator refusal.
+
+    A peer chunk responder sends this when asked for sectors its block
+    bitmap no longer (or never) marked servable, so the initiator can
+    fall back to an origin replica immediately instead of burning the
+    retransmission budget.
+    """
+
+    tag: int
+    reason: str = "not-local"
+
+    @property
+    def payload_bytes(self) -> int:
+        return params.AOE_HEADER_BYTES
+
+
 @dataclass
 class ReassemblyBuffer:
     """Collects fragments of one read reply, tolerant of duplicates."""

@@ -94,6 +94,10 @@ class AoeServer:
     #: what jumbo frames amortize (paper 4.2's extension).
     PER_FRAME_CPU_SECONDS = 3e-6
 
+    #: Frame protocol tag (the peer chunk responder overrides this so
+    #: the switch can attribute origin vs peer traffic).
+    PROTOCOL = "aoe"
+
     def __init__(self, env: Environment, nic: Nic, store: ImageStore,
                  workers: int = 8, mtu: int | None = None,
                  telemetry=NULL_TELEMETRY):
@@ -184,7 +188,8 @@ class AoeServer:
         for fragment in fragments:
             yield self.env.timeout(self.PER_FRAME_CPU_SECONDS)
             yield from self.nic.send(reply_to, fragment,
-                                     fragment.payload_bytes)
+                                     fragment.payload_bytes,
+                                     protocol=self.PROTOCOL)
             self.fragments_sent += 1
             self._m_fragments.inc()
 
@@ -203,7 +208,7 @@ class AoeServer:
             runs=tuple(runs))
         yield from self.nic.switch.bulk_transfer(
             self.nic.name, reply_to, fragment, payload_bytes,
-            per_frame_payload)
+            per_frame_payload, protocol=self.PROTOCOL)
         self.fragments_sent += 1
         self._m_fragments.inc()
 
@@ -211,4 +216,5 @@ class AoeServer:
         yield from self.store.write(command.lba,
                                     list(command.payload_runs))
         ack = AoeAck(command.tag)
-        yield from self.nic.send(reply_to, ack, ack.payload_bytes)
+        yield from self.nic.send(reply_to, ack, ack.payload_bytes,
+                                 protocol=self.PROTOCOL)

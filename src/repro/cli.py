@@ -5,6 +5,8 @@ Commands:
 * ``deploy``    — deploy one instance by any method; print the timeline
   and (for BMcast) the deployment summary.
 * ``compare``   — deploy by every method and print a Figure-4-style table.
+* ``scaleout``  — deploy a fleet in waves over the distribution fabric
+  and print the per-wave table (replicas, p2p, selection policy).
 * ``sweep``     — the moderation write-interval sweep (Figure 14 shape).
 * ``metrics``   — deploy once with telemetry on and print the summary.
 * ``info``      — the calibrated testbed constants.
@@ -21,6 +23,7 @@ import argparse
 from repro import params
 from repro.cloud.provisioner import METHODS, Provisioner
 from repro.cloud.scenario import build_testbed
+from repro.dist.selector import POLICIES
 from repro.guest.osimage import OsImage
 from repro.metrics.report import format_table
 from repro.obs import NULL_TELEMETRY, Telemetry
@@ -53,6 +56,33 @@ def _build_parser() -> argparse.ArgumentParser:
     deploy.add_argument("--metrics-out", metavar="FILE",
                         help="export telemetry (JSON, or Prometheus "
                         "text if FILE ends in .prom)")
+    deploy.add_argument("--replicas", type=int, default=1,
+                        help="origin AoE replica count (default 1)")
+    deploy.add_argument("--p2p", action="store_true",
+                        help="enable peer-to-peer chunk serving")
+    deploy.add_argument("--select-policy", choices=POLICIES,
+                        default="round-robin",
+                        help="replica selection policy")
+
+    scaleout = sub.add_parser(
+        "scaleout", help="deploy a fleet in waves over the fabric")
+    scaleout.add_argument("--nodes", type=int, default=8,
+                          help="fleet size (default 8)")
+    scaleout.add_argument("--wave-size", type=int, default=4,
+                          help="instances launched per wave (default 4)")
+    scaleout.add_argument("--replicas", type=int, default=2,
+                          help="origin AoE replica count (default 2)")
+    scaleout.add_argument("--p2p", action="store_true",
+                          help="enable peer-to-peer chunk serving")
+    scaleout.add_argument("--select-policy", choices=POLICIES,
+                          default="least-outstanding")
+    scaleout.add_argument("--seed-fill", type=float, default=0.25,
+                          help="previous-wave mean bitmap fill required "
+                          "before the next wave launches (default 0.25)")
+    scaleout.add_argument("--image-gb", type=float, default=0.5,
+                          help="OS image size (default 0.5 for speed)")
+    scaleout.add_argument("--wait", action="store_true",
+                          help="run until every deployment finishes")
 
     compare = sub.add_parser("compare", help="compare every method")
     compare.add_argument("--image-gb", type=float, default=4.0)
@@ -103,6 +133,10 @@ def cmd_deploy(args, print_summary: bool = False) -> int:
     env, telemetry = _make_telemetry(args)
     testbed = build_testbed(disk_controller=args.controller,
                             image=_image(args.image_gb),
+                            server_count=getattr(args, "replicas", 1),
+                            p2p=getattr(args, "p2p", False),
+                            select_policy=getattr(args, "select_policy",
+                                                  "round-robin"),
                             env=env, telemetry=telemetry)
     provisioner = Provisioner(testbed)
     options = {}
@@ -136,6 +170,43 @@ def cmd_deploy(args, print_summary: bool = False) -> int:
     if getattr(args, "metrics_out", None):
         telemetry.write(args.metrics_out)
         print(f"telemetry written to {args.metrics_out}")
+    return 0
+
+
+def cmd_scaleout(args) -> int:
+    from repro.cloud import Cluster, WaveScheduler
+    testbed = build_testbed(node_count=args.nodes,
+                            server_count=args.replicas,
+                            p2p=args.p2p,
+                            select_policy=args.select_policy,
+                            image=_image(args.image_gb))
+    env = testbed.env
+    cluster = Cluster(testbed)
+    scheduler = WaveScheduler(cluster, wave_size=args.wave_size,
+                              seed_fill_fraction=args.seed_fill)
+    env.run(until=env.process(scheduler.run("bmcast")))
+    if args.wait:
+        env.run(until=env.process(
+            cluster.wait_deployment_complete()))
+    rows = [
+        [w.index, " ".join(str(i) for i in w.node_indexes),
+         round(w.ready_seconds, 1),
+         round(w.ready_seconds / len(w.node_indexes), 1),
+         w.peer_hits, w.origin_fetches,
+         f"{w.live_peer_hit_ratio():.0%}"]
+        for w in scheduler.waves
+    ]
+    fabric = testbed.fabric.describe()
+    print(format_table(
+        ["wave", "nodes", "ready (s)", "s/instance",
+         "peer hits", "origin fetches", "peer hit ratio"],
+        rows,
+        title=f"Scale-out: {args.nodes} nodes, "
+        f"{args.replicas} replica(s), "
+        f"p2p {'on' if args.p2p else 'off'}, "
+        f"policy {args.select_policy}"))
+    print(f"fleet ready in {scheduler.summary()['total_seconds']:.1f}s; "
+          f"peers registered: {fabric['peers_registered']}")
     return 0
 
 
@@ -265,6 +336,7 @@ def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
     handler = {
         "deploy": cmd_deploy,
+        "scaleout": cmd_scaleout,
         "compare": cmd_compare,
         "sweep": cmd_sweep,
         "metrics": cmd_metrics,

@@ -3,6 +3,7 @@
 from repro.cloud.cluster import Cluster
 from repro.cloud.instance import Instance, StartupTimeline
 from repro.cloud.provisioner import METHODS, Provisioner
+from repro.cloud.scaleout import WaveScheduler, WaveStats
 from repro.cloud.scenario import Testbed, TestbedNode, build_testbed
 
 __all__ = [
@@ -13,5 +14,7 @@ __all__ = [
     "StartupTimeline",
     "Testbed",
     "TestbedNode",
+    "WaveScheduler",
+    "WaveStats",
     "build_testbed",
 ]

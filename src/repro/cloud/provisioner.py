@@ -96,6 +96,10 @@ class Provisioner:
         image = self.testbed.image
         spans = self.telemetry.tracer
         vmm_options.setdefault("telemetry", self.telemetry)
+        fabric = getattr(self.testbed, "fabric", None)
+        if fabric is not None:
+            vmm_options.setdefault("fabric", fabric)
+            vmm_options.setdefault("peer_nic", node.peer_nic)
         vmm = BmcastVmm(self.env, node.machine, node.vmm_nic,
                         self.testbed.server_port,
                         image_sectors=image.total_sectors,

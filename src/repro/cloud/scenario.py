@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 
 from repro import params
 from repro.aoe.server import AoeServer, ImageStore
+from repro.dist import DistFabric
 from repro.guest.osimage import OsImage
 from repro.hw.machine import Machine, MachineSpec
 from repro.net.infiniband import IbFabric, IbHca
@@ -34,6 +35,8 @@ class TestbedNode:
     guest_nic: Nic
     vmm_nic: Nic
     ib_hca: IbHca | None = None
+    #: Switch port for the node's peer chunk service (p2p fabrics only).
+    peer_nic: Nic | None = None
 
 
 @dataclass
@@ -49,6 +52,13 @@ class Testbed:
     nodes: list[TestbedNode] = field(default_factory=list)
     ib_fabric: IbFabric | None = None
     telemetry: object = NULL_TELEMETRY
+    #: All origin replicas (``servers[0] is server``).
+    servers: list[AoeServer] = field(default_factory=list)
+    stores: list[ImageStore] = field(default_factory=list)
+    server_ports: list[str] = field(default_factory=list)
+    #: Distribution fabric; None only for pre-fabric callers that
+    #: construct a Testbed by hand.
+    fabric: DistFabric | None = None
 
     @property
     def node(self) -> TestbedNode:
@@ -61,6 +71,10 @@ def build_testbed(node_count: int = 1,
                   image: OsImage | None = None,
                   mtu: int = params.GBE_MTU,
                   loss_probability: float = 0.0,
+                  loss_seed: int = 97,
+                  server_count: int = 1,
+                  select_policy: str = "round-robin",
+                  p2p: bool = False,
                   server_workers: int = 8,
                   server_cache_hit_ratio: float = 0.5,
                   with_infiniband: bool = False,
@@ -72,6 +86,13 @@ def build_testbed(node_count: int = 1,
     Defaults follow Section 5: gigabit Ethernet with 9000-byte MTU, a
     thread-pooled AoE server, AHCI local disks, and a 32-GB image.
 
+    ``server_count`` origin replicas share one logical image (each gets
+    its own :class:`ImageStore` and switch port); ``select_policy``
+    names the replica-selection policy every initiator runs, and
+    ``p2p`` additionally gives every node a peer chunk-service port so
+    deployments can seed each other.  ``loss_seed`` varies the loss
+    model's random stream without changing the loss rate.
+
     ``telemetry`` (a :class:`repro.obs.Telemetry` built on the same
     ``env``) is threaded into the switch, every NIC, and the AoE
     server; the provisioner and VMM pick it up from the testbed.
@@ -81,24 +102,46 @@ def build_testbed(node_count: int = 1,
         raise ValueError(
             "telemetry must be built on the same Environment as the "
             "testbed (pass env= alongside telemetry=)")
+    if server_count < 1:
+        raise ValueError("server_count must be >= 1")
     switch = EthernetSwitch(env, mtu=mtu,
-                            loss=LossModel(loss_probability, seed=97),
+                            loss=LossModel(loss_probability,
+                                           seed=loss_seed),
                             telemetry=telemetry)
     image = image or OsImage()
 
-    store = ImageStore(env, image.contents, image.total_sectors,
-                       cache_hit_ratio=server_cache_hit_ratio)
-    server_nic = Nic(env, switch, "server", rx_ring_size=8192,
-                     telemetry=telemetry)
-    server = AoeServer(env, server_nic, store, workers=server_workers,
-                       telemetry=telemetry)
-    server.start()
+    # Origin replica set: independent AoE targets over the same logical
+    # image.  The first keeps the historical "server" port name so
+    # single-server callers see no change.
+    servers: list[AoeServer] = []
+    stores: list[ImageStore] = []
+    server_ports: list[str] = []
+    for replica in range(server_count):
+        port = "server" if replica == 0 else f"server-r{replica}"
+        replica_store = ImageStore(
+            env, image.contents, image.total_sectors,
+            cache_hit_ratio=server_cache_hit_ratio)
+        replica_nic = Nic(env, switch, port, rx_ring_size=8192,
+                          telemetry=telemetry)
+        replica_server = AoeServer(env, replica_nic, replica_store,
+                                   workers=server_workers,
+                                   telemetry=telemetry)
+        replica_server.start()
+        servers.append(replica_server)
+        stores.append(replica_store)
+        server_ports.append(port)
+
+    dist_fabric = DistFabric(server_ports, select_policy=select_policy,
+                             p2p=p2p, telemetry=telemetry)
 
     fabric = IbFabric(env) if with_infiniband else None
 
-    testbed = Testbed(env=env, switch=switch, image=image, store=store,
-                      server=server, server_port="server",
-                      ib_fabric=fabric, telemetry=telemetry)
+    testbed = Testbed(env=env, switch=switch, image=image,
+                      store=stores[0], server=servers[0],
+                      server_port="server",
+                      ib_fabric=fabric, telemetry=telemetry,
+                      servers=servers, stores=stores,
+                      server_ports=server_ports, fabric=dist_fabric)
 
     for index in range(node_count):
         name = f"node{index}"
@@ -121,9 +164,15 @@ def build_testbed(node_count: int = 1,
                       telemetry=telemetry)
         machine.attach_nic(guest_nic)
         machine.attach_nic(vmm_nic)
+        peer_nic = None
+        if p2p:
+            peer_nic = Nic(env, switch,
+                           dist_fabric.peer_port_of(vmm_nic.name),
+                           rx_ring_size=8192, telemetry=telemetry)
         hca = IbHca(env, fabric, machine) if fabric is not None else None
         testbed.nodes.append(TestbedNode(
             machine=machine, disk=disk, controller=controller,
-            guest_nic=guest_nic, vmm_nic=vmm_nic, ib_hca=hca))
+            guest_nic=guest_nic, vmm_nic=vmm_nic, ib_hca=hca,
+            peer_nic=peer_nic))
 
     return testbed

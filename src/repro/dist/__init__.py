@@ -1,0 +1,49 @@
+"""repro.dist — the scale-out image-distribution fabric.
+
+The paper's deployment path funnels every instance through one AoE
+storage server, and its own evaluation (Section 4.2) shows that target
+saturating under concurrent deployments.  This package removes the
+funnel:
+
+* :class:`DistFabric` — a *replica set* of AoE targets sharing one
+  logical image, plus the fabric-wide peer directory;
+* :mod:`repro.dist.selector` — pluggable initiator-side replica
+  selection (round-robin, consistent-hash-by-LBA, least-outstanding,
+  RTT-aware);
+* :class:`PeerChunkService` — a deploying node's lightweight AoE
+  responder serving blocks its bitmap already marks local, with bitmap
+  summaries gossiped to the :class:`PeerDirectory`;
+* :class:`FetchRouter` — routes each VMM fetch to a peer when one
+  advertises the block, an origin replica otherwise.
+
+The wave scheduler that exploits all of this lives in
+:mod:`repro.cloud.scaleout`.
+"""
+
+from repro.dist.fabric import DistFabric
+from repro.dist.peer import LocalChunkStore, PeerChunkService, PeerDirectory
+from repro.dist.router import FetchRouter
+from repro.dist.selector import (
+    POLICIES,
+    ConsistentHashSelector,
+    LeastOutstandingSelector,
+    ReplicaSelector,
+    RoundRobinSelector,
+    RttAwareSelector,
+    make_selector,
+)
+
+__all__ = [
+    "POLICIES",
+    "ConsistentHashSelector",
+    "DistFabric",
+    "FetchRouter",
+    "LeastOutstandingSelector",
+    "LocalChunkStore",
+    "PeerChunkService",
+    "PeerDirectory",
+    "ReplicaSelector",
+    "RoundRobinSelector",
+    "RttAwareSelector",
+    "make_selector",
+]

@@ -1,0 +1,210 @@
+"""Peer-to-peer chunk serving for scale-out deployments.
+
+A deploying (or already deployed) node runs a lightweight AoE responder
+— :class:`PeerChunkService` — on its own switch port.  It serves only
+sectors whose copy blocks its deployment bitmap marks FILLED *and* that
+the guest has never written (pristine image data); anything else gets
+an immediate :class:`~repro.aoe.protocol.AoeNak` so the requester can
+fall back to an origin replica without burning its retry budget.
+
+Nodes advertise what they can serve with *bitmap summaries* — the set
+of pristine filled copy-block indexes — published to the fabric's
+:class:`PeerDirectory`.  Publication piggybacks on traffic the node is
+already generating (the copier's fetch stream), so a summary costs no
+extra frames; it is batched every :data:`PeerChunkService.ANNOUNCE_BLOCKS`
+block fills.  Summaries only ever *add* blocks, so a stale entry is
+safe: at worst a request hits a peer whose block was just tainted by a
+guest write, and the NAK path corrects the directory.
+"""
+
+from __future__ import annotations
+
+from repro.aoe.protocol import AoeCommand, AoeNak
+from repro.aoe.server import AoeServer
+from repro.obs.telemetry import NULL_TELEMETRY
+from repro.storage.blockdev import BlockOp, BlockRequest
+
+
+class PeerDirectory:
+    """Fabric-wide view of which peer serves which copy blocks.
+
+    The control-plane side of gossip: entries are written by each
+    node's chunk service when it publishes a summary and read by every
+    fetch router.  Lookups return a deterministically ordered list so
+    simulation runs replay identically.
+    """
+
+    def __init__(self):
+        self._summaries: dict[str, set[int]] = {}
+        self.publishes = 0
+        self.invalidations = 0
+
+    def publish(self, port: str, blocks) -> None:
+        """Replace ``port``'s advertised block set."""
+        self._summaries[port] = set(blocks)
+        self.publishes += 1
+
+    def withdraw(self, port: str) -> None:
+        """Remove a peer entirely (service stopped)."""
+        self._summaries.pop(port, None)
+
+    def invalidate(self, port: str, block: int) -> None:
+        """A NAK proved ``port`` no longer serves ``block``."""
+        summary = self._summaries.get(port)
+        if summary is not None:
+            summary.discard(block)
+            self.invalidations += 1
+
+    def peers_for(self, blocks, exclude: str | None = None) -> list[str]:
+        """Ports advertising *every* block in ``blocks``, sorted."""
+        wanted = set(blocks)
+        return sorted(
+            port for port, summary in self._summaries.items()
+            if port != exclude and wanted <= summary)
+
+    def advertised(self, port: str) -> set[int]:
+        return set(self._summaries.get(port, ()))
+
+    def __len__(self) -> int:
+        return len(self._summaries)
+
+
+class LocalChunkStore:
+    """Store adapter serving AoE reads from the node's local disk.
+
+    Peer reads go through the real :class:`~repro.storage.disk.Disk`
+    (its actuator Resource and seek model), so serving chunks competes
+    honestly with the node's own deployment and guest I/O.
+    """
+
+    def __init__(self, env, disk):
+        self.env = env
+        self.disk = disk
+        self.reads = 0
+
+    def read(self, lba: int, sector_count: int):
+        """Generator: content runs from the local platters."""
+        self.reads += 1
+        request = BlockRequest(BlockOp.READ, lba, sector_count,
+                               origin="peer")
+        yield from self.disk.execute(request)
+        return list(request.buffer.runs)
+
+    def write(self, lba: int, runs: list):
+        raise RuntimeError("peer chunk service is read-only")
+
+
+class PeerChunkService(AoeServer):
+    """The lightweight AoE responder a deploying node runs.
+
+    Reuses the origin target's receive/serve machinery with three
+    differences: it reads from the local disk instead of an image
+    store, it answers only for pristine FILLED blocks (NAK otherwise),
+    and it keeps a modest worker pool so serving peers never starves
+    the node's own deployment.
+    """
+
+    PROTOCOL = "aoe-peer"
+
+    #: Publish a summary update every this many newly filled blocks.
+    ANNOUNCE_BLOCKS = 8
+
+    def __init__(self, env, nic, disk, bitmap,
+                 directory: PeerDirectory,
+                 workers: int = 2, telemetry=NULL_TELEMETRY):
+        super().__init__(env, nic, LocalChunkStore(env, disk),
+                         workers=workers, telemetry=telemetry)
+        self.bitmap = bitmap
+        self.directory = directory
+        #: Blocks a guest write has touched — never servable again.
+        self.tainted: set[int] = set()
+        self._unannounced = 0
+        #: After de-virtualization the mediator is gone, so *every*
+        #: image-range disk write is the guest's (set by the VMM).
+        self.direct_io = False
+        # Two provenance signals, because the disk cannot tell who
+        # programmed its controller: the bitmap reports mediated guest
+        # writes, the raw disk observer covers the post-devirt era.
+        bitmap.guest_write_listeners.append(self._on_guest_write)
+        disk.write_observers.append(self._on_disk_write)
+        # Metrics.
+        self.chunks_served = 0
+        self.naks_sent = 0
+        registry = telemetry.registry
+        self._m_chunks = registry.counter(
+            "peer_chunks_served_total", node=nic.name,
+            help="AoE read commands served from this peer's local disk")
+        self._m_naks = registry.counter(
+            "peer_naks_total", node=nic.name,
+            help="peer requests refused (block not servable)")
+
+    # -- servability --------------------------------------------------------------
+
+    def servable(self, lba: int, sector_count: int) -> bool:
+        """True when the whole range is pristine, copier-filled data."""
+        for block in self.bitmap.blocks_overlapping(lba, sector_count):
+            if block in self.tainted or not self.bitmap.is_filled(block):
+                return False
+        return True
+
+    def summary(self) -> set[int]:
+        """Pristine filled copy-block indexes — the gossip payload."""
+        return {
+            block
+            for start, end, value in self.bitmap.filled_runs()
+            for block in range(start, end)
+            if block not in self.tainted
+        }
+
+    # -- gossip -------------------------------------------------------------------
+
+    def publish(self) -> None:
+        """Push the current summary to the directory now."""
+        self.directory.publish(self.nic.name, self.summary())
+        self._unannounced = 0
+
+    def note_block_filled(self, block: int) -> None:
+        """Copier callback: batch-publish every ANNOUNCE_BLOCKS fills.
+
+        The update rides on the AoE command stream the copier is
+        already sending (zero extra frames) — hence no wire cost here.
+        """
+        self._unannounced += 1
+        if self._unannounced >= self.ANNOUNCE_BLOCKS \
+                or self.bitmap.complete:
+            self.publish()
+
+    def mark_direct_io(self) -> None:
+        """The node de-virtualized: disk writes are now all guest I/O."""
+        self.direct_io = True
+
+    def _taint(self, lba: int, sector_count: int) -> None:
+        if lba >= self.bitmap.image_sectors:
+            return  # bitmap-save region, not image data
+        for block in self.bitmap.blocks_overlapping(lba, sector_count):
+            self.tainted.add(block)
+
+    def _on_guest_write(self, lba: int, sector_count: int) -> None:
+        self._taint(lba, sector_count)
+
+    def _on_disk_write(self, request) -> None:
+        if self.direct_io:
+            self._taint(request.lba, request.sector_count)
+
+    def stop(self) -> None:
+        self.directory.withdraw(self.nic.name)
+        super().stop()
+
+    # -- serving ------------------------------------------------------------------
+
+    def _serve_read(self, command: AoeCommand, reply_to: str):
+        if not self.servable(command.lba, command.sector_count):
+            self.naks_sent += 1
+            self._m_naks.inc()
+            nak = AoeNak(command.tag)
+            yield from self.nic.send(reply_to, nak, nak.payload_bytes,
+                                     protocol=self.PROTOCOL)
+            return
+        yield from super()._serve_read(command, reply_to)
+        self.chunks_served += 1
+        self._m_chunks.inc()

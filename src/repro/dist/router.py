@@ -1,0 +1,146 @@
+"""Initiator-side fetch routing over replicas and peers.
+
+The :class:`FetchRouter` slots in where the VMM previously talked to
+the single storage server: the deployment context and background
+copier call :meth:`read_blocks` with the initiator's exact signature,
+and the router decides *where* each read goes.
+
+Routing order per request:
+
+1. **Peers first** (when the fabric runs p2p): if the directory lists
+   peers advertising every copy block of the range, fetch from one —
+   chosen by the selection policy — and fall back on NAK or timeout.
+   NAKs also repair the directory entry that misled us.
+2. **Origin replicas**: pick one via the policy.  Origin failures
+   (:class:`~repro.aoe.client.AoeTimeoutError`) propagate to the
+   caller — the copier's outage backoff stays in charge.
+
+Writes never route: they go to the primary origin target untouched.
+"""
+
+from __future__ import annotations
+
+from repro.aoe.client import AoeNakError, AoeTimeoutError
+from repro.obs.telemetry import NULL_TELEMETRY
+
+#: Frame tag for peer-to-peer chunk traffic (switch accounting).
+PEER_PROTOCOL = "aoe-peer"
+
+
+class FetchRouter:
+    """Routes one VMM's image fetches through the distribution fabric."""
+
+    def __init__(self, env, initiator, fabric, node_port: str,
+                 telemetry=NULL_TELEMETRY):
+        self.env = env
+        self.initiator = initiator
+        self.fabric = fabric
+        self.node_port = node_port
+        self.selector = fabric.make_selector(telemetry=telemetry)
+        self.telemetry = telemetry
+        # Metrics.
+        self.peer_hits = 0
+        self.peer_misses = 0
+        self.origin_fetches = 0
+        registry = telemetry.registry
+        self._m_peer_hits = registry.counter(
+            "dist_peer_hits_total", node=node_port,
+            help="fetches served by a peer instead of an origin replica")
+        self._m_peer_misses = registry.counter(
+            "dist_peer_misses_total", node=node_port,
+            help="peer fetch attempts that fell back to origin")
+        self._m_hit_ratio = registry.gauge(
+            "dist_peer_hit_ratio", node=node_port,
+            help="fraction of fetches served by peers so far")
+
+    # -- stats -------------------------------------------------------------------
+
+    @property
+    def total_fetches(self) -> int:
+        return self.peer_hits + self.origin_fetches
+
+    @property
+    def peer_hit_ratio(self) -> float:
+        total = self.total_fetches
+        return self.peer_hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "peer_hits": self.peer_hits,
+            "peer_misses": self.peer_misses,
+            "origin_fetches": self.origin_fetches,
+            "peer_hit_ratio": round(self.peer_hit_ratio, 4),
+            "replica_load": dict(sorted(self.selector.load.items())),
+        }
+
+    # -- fetch path --------------------------------------------------------------
+
+    def read_blocks(self, lba: int, sector_count: int,
+                    bulk: bool = False):
+        """Generator: fetch content runs via the fabric.
+
+        Drop-in for :meth:`AoeInitiator.read_blocks` — the deployment
+        context and copier cannot tell the difference.
+        """
+        if self.fabric.p2p:
+            peer = self._pick_peer(lba, sector_count)
+            if peer is not None:
+                runs = yield from self._fetch_from_peer(
+                    peer, lba, sector_count, bulk)
+                if runs is not None:
+                    return runs
+        runs = yield from self._fetch_from_origin(lba, sector_count, bulk)
+        return runs
+
+    def _pick_peer(self, lba: int, sector_count: int) -> str | None:
+        blocks = self.fabric.blocks_of(lba, sector_count)
+        peers = self.fabric.directory.peers_for(blocks,
+                                                exclude=self._own_peer_port)
+        if not peers:
+            return None
+        return self.selector.select(lba, sector_count, candidates=peers)
+
+    @property
+    def _own_peer_port(self) -> str:
+        return self.fabric.peer_port_of(self.node_port)
+
+    def _fetch_from_peer(self, peer: str, lba: int, sector_count: int,
+                         bulk: bool):
+        started = self.env.now
+        self.selector.note_sent(peer)
+        try:
+            runs = yield from self.initiator.read_blocks(
+                lba, sector_count, bulk=bulk, target=peer,
+                protocol=PEER_PROTOCOL)
+        except (AoeNakError, AoeTimeoutError):
+            # The peer cannot (or can no longer) serve the range; fix
+            # the directory so the next request skips it, and fall back.
+            self.selector.note_complete(peer, self.env.now - started,
+                                        ok=False)
+            for block in self.fabric.blocks_of(lba, sector_count):
+                self.fabric.directory.invalidate(peer, block)
+            self.peer_misses += 1
+            self._m_peer_misses.inc()
+            return None
+        self.selector.note_complete(peer, self.env.now - started)
+        self.peer_hits += 1
+        self._m_peer_hits.inc()
+        self._m_hit_ratio.set(self.peer_hit_ratio)
+        return runs
+
+    def _fetch_from_origin(self, lba: int, sector_count: int,
+                           bulk: bool):
+        target = self.selector.select(lba, sector_count)
+        started = self.env.now
+        self.selector.note_sent(target)
+        try:
+            runs = yield from self.initiator.read_blocks(
+                lba, sector_count, bulk=bulk, target=target)
+        except AoeTimeoutError:
+            self.selector.note_complete(target, self.env.now - started,
+                                        ok=False)
+            raise
+        self.selector.note_complete(target, self.env.now - started)
+        self.origin_fetches += 1
+        self._m_hit_ratio.set(self.peer_hit_ratio)
+        return runs

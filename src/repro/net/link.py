@@ -58,6 +58,9 @@ class EthernetSwitch:
         # Metrics.
         self.frames_forwarded = 0
         self.bytes_forwarded = 0
+        #: Wire bytes by frame protocol tag ("aoe", "aoe-peer", ...) —
+        #: how the scale-out benches attribute origin vs peer traffic.
+        self.bytes_by_protocol: dict[str, int] = {}
         registry = telemetry.registry
         self._m_frames = registry.counter("switch_frames_forwarded_total")
         self._m_bytes = registry.counter("switch_bytes_forwarded_total")
@@ -107,7 +110,8 @@ class EthernetSwitch:
 
     def bulk_transfer(self, src: str, dst: str, payload,
                       payload_bytes: int, per_frame_payload: int,
-                      chunk_bytes: int = 128 * 1024):
+                      chunk_bytes: int = 128 * 1024,
+                      protocol: str = "aoe"):
         """Generator: carry a large payload as one logical transfer.
 
         Equivalent on the wire to the fragment train the payload would
@@ -142,10 +146,12 @@ class EthernetSwitch:
                     yield self.env.timeout(per_chunk)
             self.frames_forwarded += frames
             self.bytes_forwarded += wire_bytes
+            self._account_protocol(protocol, wire_bytes)
             self._m_frames.inc(frames)
             self._m_bytes.inc(wire_bytes)
             destination.deliver(Frame(src, dst, payload,
-                                      per_frame_payload))
+                                      per_frame_payload,
+                                      protocol=protocol))
             rx_done.succeed()
 
         self.env.process(rx_side(), name="bulk-rx")
@@ -165,6 +171,11 @@ class EthernetSwitch:
             yield self.env.timeout(self.serialization_time(frame))
         self.frames_forwarded += 1
         self.bytes_forwarded += frame.wire_bytes
+        self._account_protocol(frame.protocol, frame.wire_bytes)
         self._m_frames.inc()
         self._m_bytes.inc(frame.wire_bytes)
         destination.deliver(frame)
+
+    def _account_protocol(self, protocol: str, wire_bytes: int) -> None:
+        self.bytes_by_protocol[protocol] = \
+            self.bytes_by_protocol.get(protocol, 0) + wire_bytes

@@ -40,6 +40,10 @@ class Disk:
 
         #: Sector tokens currently on the platters.
         self.contents = IntervalMap()
+        #: Called with each completed WRITE request — the peer chunk
+        #: service subscribes to learn when guest writes taint blocks
+        #: it advertised as pristine image data.
+        self.write_observers: list = []
         #: The single actuator: requests serialize here.
         self.arm = Resource(env, capacity=1)
         self._head_lba = 0
@@ -126,6 +130,8 @@ class Disk:
             request.buffer.store_to(self.contents)
             self.sectors_written += request.sector_count
             self._head_lba = request.end_lba
+            for observer in self.write_observers:
+                observer(request)
         self.requests_served += 1
 
     # -- convenience -----------------------------------------------------------

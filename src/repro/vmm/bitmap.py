@@ -43,6 +43,10 @@ class BlockBitmap:
         self._copying: set[int] = set()
         #: Sector ranges the guest wrote inside non-FILLED blocks.
         self.dirty = IntervalMap()
+        #: Called with ``(lba, sector_count)`` on every recorded guest
+        #: write — the provenance signal peer chunk services taint on
+        #: (the disk itself cannot tell who programmed the controller).
+        self.guest_write_listeners: list = []
         # Metrics.
         self.copier_skips = 0
 
@@ -77,6 +81,11 @@ class BlockBitmap:
     @property
     def filled_count(self) -> int:
         return self._filled.total_covered()
+
+    def filled_runs(self) -> list[tuple[int, int, object]]:
+        """FILLED block-index runs as ``(start, end, value)``, ``end``
+        exclusive — the raw material for peer bitmap summaries."""
+        return self._filled.runs()
 
     @property
     def complete(self) -> bool:
@@ -162,6 +171,8 @@ class BlockBitmap:
         (newest data, nothing left to copy); partially covered non-filled
         blocks get a dirty-overlay entry.
         """
+        for listener in self.guest_write_listeners:
+            listener(lba, sector_count)
         end = lba + sector_count
         for block in self.blocks_overlapping(lba, sector_count):
             if self.is_filled(block):

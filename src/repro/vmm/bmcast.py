@@ -67,6 +67,8 @@ class BmcastVmm:
                  prefetch_lbas=None,
                  extra_mediators=(),
                  trace: bool = False,
+                 fabric=None,
+                 peer_nic=None,
                  telemetry=NULL_TELEMETRY):
         self.env = env
         self.machine = machine
@@ -110,6 +112,24 @@ class BmcastVmm:
             tracer=self.tracer,
             telemetry=telemetry,
         )
+        #: Distribution fabric (repro.dist): route fetches through a
+        #: replica selector, and optionally serve local blocks to peers.
+        self.fabric = fabric
+        self.router = None
+        self.peer_service = None
+        if fabric is not None:
+            from repro.dist.router import FetchRouter
+            self.router = FetchRouter(env, self.initiator, fabric,
+                                      node_port=vmm_nic.name,
+                                      telemetry=telemetry)
+            self.deployment.fetcher = self.router
+            if fabric.p2p and peer_nic is not None:
+                from repro.dist.peer import PeerChunkService
+                self.peer_service = PeerChunkService(
+                    env, peer_nic, machine.disk_controller.disk,
+                    self.bitmap, fabric.directory, telemetry=telemetry)
+                self.deployment.block_filled_listeners.append(
+                    self.peer_service.note_block_filled)
         self.mediator = self._build_mediator()
         prefetch_blocks = None
         if prefetch_lbas:
@@ -183,6 +203,8 @@ class BmcastVmm:
         while not self.mediator.quiescent:
             yield self.env.timeout(1e-3)
         yield from self.persist_bitmap()
+        if self.peer_service is not None:
+            self.peer_service.stop()
         self.initiator.stop()
         self.mediator.uninstall()
         for cpu in self.machine.cpus:
@@ -260,6 +282,8 @@ class BmcastVmm:
             cpu.vmenter()
 
         self.initiator.start()
+        if self.peer_service is not None:
+            self.peer_service.start()
         self.machine.set_condition(DEPLOY_CONDITION)
         self._enter_phase("deployment")
         self.copier.start()
@@ -280,8 +304,15 @@ class BmcastVmm:
         self._enter_phase("devirtualization")
         self._account_polling_exits()
         self.copier.stop()
+        if self.peer_service is not None:
+            self.peer_service.mark_direct_io()
         yield from self.devirtualizer.run()
         self.initiator.stop()
+        if self.peer_service is not None:
+            # The responder survives de-virtualization (it runs as a
+            # host-level agent, not inside the VMM): a fully deployed
+            # node is the fabric's best seed for later waves.
+            self.peer_service.publish()
         if self.release_memory:
             # Memory hot-plug: hand the VMM's reservation back.
             self.machine.memory.release(self.reserved_region)
@@ -304,8 +335,15 @@ class BmcastVmm:
 
     def summary(self) -> dict:
         """Deployment metrics in one bundle."""
+        dist = {}
+        if self.router is not None:
+            dist = self.router.stats()
+        if self.peer_service is not None:
+            dist["peer_chunks_served"] = self.peer_service.chunks_served
+            dist["peer_naks_sent"] = self.peer_service.naks_sent
         return {
             "phase": self.phase,
+            **dist,
             "blocks_filled": self.copier.blocks_filled,
             "bytes_written": self.copier.bytes_written,
             "writeback_bytes": self.copier.writeback_bytes,

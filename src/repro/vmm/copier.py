@@ -134,7 +134,7 @@ class BackgroundCopier:
                 start, count = bitmap.block_range(block)
                 try:
                     runs = yield from \
-                        self.deployment.initiator.read_blocks(
+                        self.deployment.fetcher.read_blocks(
                             start, count, bulk=True)
                 except AoeTimeoutError:
                     # Server unreachable: release the claim, back off,
@@ -254,6 +254,7 @@ class BackgroundCopier:
         self._m_bytes_written.inc(written * params.SECTOR_BYTES)
         try:
             bitmap.commit_fill(block)
+            self.deployment.note_block_filled(block)
             self.blocks_filled += 1
             self._m_blocks_filled.set(self.blocks_filled)
             self._m_progress.set(bitmap.filled_count

@@ -44,6 +44,14 @@ class DeploymentContext:
         self.env = env
         self.bitmap = bitmap
         self.initiator = initiator
+        #: Where image fetches actually go: the raw initiator by
+        #: default, a :class:`repro.dist.FetchRouter` when the testbed
+        #: runs a distribution fabric.  Must expose the initiator's
+        #: ``read_blocks(lba, n, bulk=)`` generator signature.
+        self.fetcher = initiator
+        #: Callbacks invoked with each block index the copier commits
+        #: (the peer chunk service hangs its gossip batching here).
+        self.block_filled_listeners: list = []
         self.poll_interval = poll_interval
         #: Structured event tracer (a no-op unless tracing is enabled).
         self.tracer = tracer
@@ -101,10 +109,15 @@ class DeploymentContext:
 
     # -- server fetch ------------------------------------------------------------
 
+    def note_block_filled(self, block: int) -> None:
+        """The copier committed ``block``; fan out to listeners."""
+        for listener in self.block_filled_listeners:
+            listener(block)
+
     def fetch(self, lba: int, sector_count: int):
-        """Generator: content runs for a range, from the storage server."""
+        """Generator: content runs for a range, from the fabric/server."""
         start = self.env.now
-        runs = yield from self.initiator.read_blocks(lba, sector_count)
+        runs = yield from self.fetcher.read_blocks(lba, sector_count)
         self.redirected_bytes += sector_count * params.SECTOR_BYTES
         self._m_redirected_bytes.inc(sector_count * params.SECTOR_BYTES)
         self._m_fetch_latency.observe(self.env.now - start)

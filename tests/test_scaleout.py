@@ -1,0 +1,106 @@
+"""Scale-out scheduler tests + the lossy-cluster determinism satellite."""
+
+import pytest
+
+from repro.cloud import Cluster, WaveScheduler, build_testbed
+from repro.guest.osimage import OsImage
+from repro.vmm.moderation import FULL_SPEED
+
+MB = 2**20
+
+
+def _image() -> OsImage:
+    return OsImage(size_bytes=128 * MB, boot_read_bytes=8 * MB,
+                   boot_think_seconds=1.0)
+
+
+def _deploy_lossy_cluster(node_count: int = 3,
+                          loss_probability: float = 0.005):
+    testbed = build_testbed(node_count=node_count, server_count=2,
+                            loss_probability=loss_probability,
+                            image=_image())
+    cluster = Cluster(testbed)
+
+    def scenario():
+        yield from cluster.deploy_all("bmcast", policy=FULL_SPEED)
+        yield from cluster.wait_deployment_complete(settle_seconds=1.0)
+
+    testbed.env.run(until=testbed.env.process(scenario()))
+    return testbed, cluster
+
+
+def _timeline(cluster: Cluster):
+    return [
+        (instance.timeline.ready,
+         instance.platform.copier.finished_at,
+         instance.platform.initiator.retransmissions)
+        for instance in cluster.instances
+    ]
+
+
+def test_lossy_cluster_deploys_completely():
+    """Satellite: frame loss slows deployment but never corrupts it."""
+    testbed, cluster = _deploy_lossy_cluster()
+    assert cluster.all_baremetal()
+    assert cluster.verify_all_deployed()
+    # The loss model actually bit: someone had to retransmit.
+    total_retransmissions = sum(
+        instance.platform.initiator.retransmissions
+        for instance in cluster.instances)
+    assert total_retransmissions > 0
+
+
+def test_lossy_cluster_timeline_is_deterministic():
+    """Same seed, same simulation: identical timings run to run."""
+    _, first = _deploy_lossy_cluster()
+    _, second = _deploy_lossy_cluster()
+    assert _timeline(first) == _timeline(second)
+
+
+def test_wave_scheduler_validates_arguments():
+    testbed = build_testbed(image=_image())
+    cluster = Cluster(testbed)
+    with pytest.raises(ValueError):
+        WaveScheduler(cluster, wave_size=0)
+    with pytest.raises(ValueError):
+        WaveScheduler(cluster, wave_size=2, seed_fill_fraction=1.5)
+
+
+def test_wave_scheduler_batches_in_node_order():
+    testbed = build_testbed(node_count=5, server_count=2,
+                            image=_image())
+    cluster = Cluster(testbed)
+    scheduler = WaveScheduler(cluster, wave_size=2)
+    env = testbed.env
+    env.run(until=env.process(scheduler.run("bmcast",
+                                            policy=FULL_SPEED)))
+    assert [w.node_indexes for w in scheduler.waves] == \
+        [[0, 1], [2, 3], [4]]
+    assert len(cluster.instances) == 5
+    assert scheduler.summary()["instances"] == 5
+    # Every wave launched no earlier than the previous one became ready.
+    for earlier, later in zip(scheduler.waves, scheduler.waves[1:]):
+        assert later.started_at >= earlier.ready_at
+
+
+def test_wave_scheduler_seeds_later_waves_from_peers():
+    testbed = build_testbed(node_count=4, server_count=1, p2p=True,
+                            image=_image())
+    cluster = Cluster(testbed)
+    scheduler = WaveScheduler(cluster, wave_size=2,
+                              seed_fill_fraction=0.5)
+    env = testbed.env
+
+    def scenario():
+        yield from scheduler.run("bmcast", policy=FULL_SPEED)
+        yield from cluster.wait_deployment_complete(settle_seconds=1.0)
+
+    env.run(until=env.process(scenario()))
+    assert cluster.verify_all_deployed()
+    last = scheduler.waves[-1]
+    # The second wave found the first wave's blocks in the directory.
+    assert last.peer_hits > 0
+    assert last.live_peer_hit_ratio() > 0.3
+    # Seed hold: wave 1 waited for wave 0 to be half-filled.
+    first_wave = scheduler.waves[0]
+    assert last.started_at >= first_wave.ready_at
