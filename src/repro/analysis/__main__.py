@@ -1,0 +1,7 @@
+"""``python -m repro.analysis`` — run simlint standalone (CI entry)."""
+
+import sys
+
+from repro.analysis.lint import main
+
+sys.exit(main())

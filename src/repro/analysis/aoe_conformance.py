@@ -1,0 +1,118 @@
+"""AoE protocol conformance validator.
+
+Subscribes to one initiator's observer stream (and, when a
+distribution fabric is present, the peer directory's mutation stream)
+and checks the transport rules the retransmission and peer-serving
+machinery depend on:
+
+* ``duplicate-tag`` — a fresh command reusing a tag that is still in
+  flight.  Replies are matched by tag, so a duplicate silently
+  cross-wires two transactions.
+* ``karn-violation`` — an RTT sample taken from a retransmitted
+  command.  Per Karn's algorithm the reply is ambiguous (it may answer
+  either copy) and must not feed the RTO estimator.
+* ``nak-without-invalidate`` — a peer NAK whose blocks were still
+  advertised by that peer and never invalidated in the directory.
+  The NAK path is what corrects stale gossip
+  (:mod:`repro.dist.peer`); skipping the invalidation re-sends every
+  later fetch into the same refusal.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.sanitizers import Sanitizer
+
+
+class AoeConformanceValidator(Sanitizer):
+    """See module docstring; attach via ``SanitizerSuite``."""
+
+    name = "aoe-conformance"
+
+    def __init__(self, env, initiator, fabric=None,
+                 strict: bool = False):
+        super().__init__(env, strict)
+        self.initiator = initiator
+        self.fabric = fabric
+        #: Tags with an unanswered command outstanding.
+        self.in_flight: dict[int, str] = {}
+        #: ``(port, block) -> nak time`` — invalidations still owed.
+        self.pending_invalidations: dict[tuple[str, int], float] = {}
+        self.naks_seen = 0
+        self.samples_seen = 0
+        initiator.observers.append(self._on_client_event)
+        if fabric is not None:
+            fabric.directory.listeners.append(self._on_directory_event)
+
+    # -- initiator stream ---------------------------------------------------
+
+    def _on_client_event(self, kind: str, **fields) -> None:
+        if kind == "send":
+            if not fields["retransmit"]:
+                tag = fields["tag"]
+                if tag in self.in_flight:
+                    self.report(
+                        "duplicate-tag",
+                        f"fresh command reuses tag {tag} while it is "
+                        f"still in flight to "
+                        f"{self.in_flight[tag]!r}",
+                        tag=tag, target=fields["target"])
+                self.in_flight[tag] = fields["target"]
+        elif kind == "rtt-sample":
+            self.samples_seen += 1
+            if fields["retries"] > 0:
+                self.report(
+                    "karn-violation",
+                    f"RTT sample taken from tag {fields['tag']} after "
+                    f"{fields['retries']} retransmission(s) — the "
+                    f"reply is ambiguous (Karn's algorithm)",
+                    tag=fields["tag"], retries=fields["retries"])
+        elif kind in ("complete", "timeout"):
+            self.in_flight.pop(fields["tag"], None)
+        elif kind == "nak":
+            self.naks_seen += 1
+            self.in_flight.pop(fields["tag"], None)
+            self._expect_invalidations(fields)
+
+    def _expect_invalidations(self, fields: dict) -> None:
+        if self.fabric is None:
+            return
+        target = fields["target"]
+        advertised = self.fabric.directory.advertised(target)
+        if not advertised:
+            return  # not a directory-listed peer; nothing to retract
+        blocks = self.fabric.blocks_of(fields["lba"],
+                                       fields["sector_count"])
+        for block in blocks:
+            if block in advertised:
+                self.pending_invalidations.setdefault(
+                    (target, block), self.env.now)
+
+    # -- directory stream ---------------------------------------------------
+
+    def _on_directory_event(self, event: str, port: str,
+                            **details) -> None:
+        if event == "invalidate":
+            self.pending_invalidations.pop((port, details["block"]),
+                                           None)
+        elif event == "withdraw":
+            for key in [key for key in self.pending_invalidations
+                        if key[0] == port]:
+                del self.pending_invalidations[key]
+        elif event == "publish":
+            # A republish that drops the block retracts it just as
+            # surely as an explicit invalidation.
+            blocks = details["blocks"]
+            for key in [key for key in self.pending_invalidations
+                        if key[0] == port and key[1] not in blocks]:
+                del self.pending_invalidations[key]
+
+    # -- end of run ---------------------------------------------------------
+
+    def finalize(self) -> None:
+        for (port, block), when in sorted(
+                self.pending_invalidations.items()):
+            self.report(
+                "nak-without-invalidate",
+                f"peer {port!r} NAKed block {block} at t={when:.6f} "
+                f"but the directory entry was never invalidated",
+                port=port, block=block, nak_time=when)

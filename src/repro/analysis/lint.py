@@ -1,0 +1,242 @@
+"""simlint: an AST-based static pass over the simulator's source.
+
+A deterministic discrete-event simulation has correctness rules no
+general-purpose linter knows about: no wall-clock reads, no hidden
+global RNG state, no blocking primitives outside the engine, and a
+layering discipline that keeps the engine importable without the
+systems built on top of it.  This module is the framework — file
+discovery, suppression comments, finding records, the CLI — and
+:mod:`repro.analysis.rules` is the pluggable rule catalog.
+
+Findings print as ``path:line:col: RULE severity: message``.  A line
+can opt out with a trailing comment::
+
+    stamp = time.time()  # simlint: ignore[SIM001] -- host-side only
+
+``ignore`` with no rule list suppresses every rule on that line; the
+``-- justification`` tail is free text (and encouraged).  Exit status
+is non-zero iff any *error*-severity finding is unsuppressed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+#: ``# simlint: ignore`` or ``# simlint: ignore[SIM001, SIM004]``.
+_SUPPRESSION = re.compile(
+    r"#\s*simlint:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    severity: str
+    message: str
+
+    def format(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule} {self.severity}: {self.message}")
+
+
+class LintContext:
+    """Everything a rule needs to examine one module."""
+
+    def __init__(self, path: str, module: str, source: str,
+                 tree: ast.Module):
+        self.path = path
+        self.module = module
+        self.source = source
+        self.tree = tree
+        #: line number -> set of suppressed rule ids ("*" = all).
+        self.suppressions = _parse_suppressions(source)
+        #: local alias -> imported module name ("t" -> "time").
+        self.module_aliases: dict[str, str] = {}
+        #: local alias -> (module, attribute) for from-imports.
+        self.from_imports: dict[str, tuple[str, str]] = {}
+        self._scan_imports()
+
+    def _scan_imports(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    # "import a.b" binds "a"; "import a.b as c" binds
+                    # the full dotted path to "c".
+                    target = alias.name if alias.asname \
+                        else alias.name.split(".")[0]
+                    self.module_aliases[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module \
+                    and node.level == 0:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.from_imports[local] = (node.module, alias.name)
+
+    def resolve_call(self, func: ast.expr) -> str | None:
+        """Normalize a call target to a real dotted name, or ``None``.
+
+        ``t.monotonic()`` with ``import time as t`` resolves to
+        ``"time.monotonic"``; ``now()`` after ``from time import time
+        as now`` resolves to ``"time.time"``.
+        """
+        chain = _dotted_chain(func)
+        if not chain:
+            return None
+        head, rest = chain[0], chain[1:]
+        if head in self.module_aliases:
+            return ".".join([self.module_aliases[head], *rest])
+        if head in self.from_imports:
+            module, attribute = self.from_imports[head]
+            return ".".join([module, attribute, *rest])
+        return ".".join(chain)
+
+    def suppressed(self, line: int, rule: str) -> bool:
+        rules = self.suppressions.get(line)
+        if rules is None:
+            return False
+        return "*" in rules or rule in rules
+
+
+def _dotted_chain(node: ast.expr) -> list[str] | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return list(reversed(parts))
+    return None
+
+
+def _parse_suppressions(source: str) -> dict[int, set[str]]:
+    table: dict[int, set[str]] = {}
+    for number, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESSION.search(text)
+        if match is None:
+            continue
+        listed = match.group("rules")
+        if listed is None:
+            table[number] = {"*"}
+        else:
+            table[number] = {rule.strip().upper()
+                             for rule in listed.split(",")
+                             if rule.strip()}
+    return table
+
+
+# -- rule registry ------------------------------------------------------------
+
+RULES: list = []
+
+
+def register_rule(cls):
+    """Class decorator adding a rule to the default catalog."""
+    RULES.append(cls())
+    return cls
+
+
+def all_rules() -> list:
+    """The registered rule instances (imports the catalog on demand)."""
+    from repro.analysis import rules  # noqa: F401  (registration)
+    return list(RULES)
+
+
+# -- running ------------------------------------------------------------------
+
+def module_name_for(path: Path | str) -> str:
+    """Dotted module name, anchored at the ``repro`` package root."""
+    parts = list(Path(path).with_suffix("").parts)
+    if "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    else:
+        parts = parts[-1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1] or ["repro"]
+    return ".".join(parts)
+
+
+def lint_source(source: str, module: str,
+                path: str = "<memory>") -> list[Finding]:
+    """Run every rule over one module's source text."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [Finding(path, error.lineno or 1, error.offset or 0,
+                        "SIM000", SEVERITY_ERROR,
+                        f"syntax error: {error.msg}")]
+    context = LintContext(path, module, source, tree)
+    findings = [
+        finding
+        for rule in all_rules()
+        for finding in rule.check(context)
+        if not context.suppressed(finding.line, finding.rule)
+    ]
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return findings
+
+
+def iter_python_files(paths) -> list[Path]:
+    files: list[Path] = []
+    for entry in paths:
+        root = Path(entry)
+        if root.is_dir():
+            files.extend(sorted(root.rglob("*.py")))
+        elif root.suffix == ".py":
+            files.append(root)
+        else:
+            raise FileNotFoundError(f"not a python file or tree: {root}")
+    return files
+
+
+def lint_paths(paths) -> list[Finding]:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        source = path.read_text(encoding="utf-8")
+        findings.extend(lint_source(source, module_name_for(path),
+                                    path=str(path)))
+    return findings
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="simlint",
+        description="Static determinism/architecture lint for the "
+        "BMcast simulator.")
+    parser.add_argument("paths", nargs="*", default=["src/repro"],
+                        help="files or directories (default: src/repro)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  [{rule.severity}]  {rule.summary}")
+        return 0
+
+    try:
+        findings = lint_paths(args.paths or ["src/repro"])
+    except FileNotFoundError as error:
+        print(f"simlint: {error}", file=sys.stderr)
+        return 2
+    for finding in findings:
+        print(finding.format())
+    errors = sum(1 for f in findings if f.severity == SEVERITY_ERROR)
+    warnings = len(findings) - errors
+    if findings:
+        print(f"simlint: {errors} error(s), {warnings} warning(s)")
+    else:
+        print("simlint: clean")
+    return 1 if errors else 0

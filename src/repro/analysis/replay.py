@@ -1,0 +1,123 @@
+"""Replay-divergence checker.
+
+A correct simulation is a pure function of its inputs: running the
+same scenario twice must produce the *identical* event stream.  The
+checker attaches a :class:`ReplayRecorder` to each run's environment
+(via ``Environment.trace_hook``), folds every popped event into a
+rolling BLAKE2 hash of ``(time, event type, process name)``, and
+compares digests across runs.  Any wall-clock read, unseeded RNG
+draw, or iteration over an unordered container with nondeterministic
+order shows up as a digest mismatch — with the event count narrowing
+down where the streams parted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+
+class ReplayRecorder:
+    """Rolling hash over one environment's popped-event stream."""
+
+    def __init__(self):
+        self._hash = hashlib.blake2b(digest_size=16)
+        self.events = 0
+
+    def attach(self, env) -> "ReplayRecorder":
+        if env.trace_hook is not None:
+            raise RuntimeError("environment already has a trace hook")
+        env.trace_hook = self._on_event
+        return self
+
+    def _on_event(self, now: float, event) -> None:
+        self.events += 1
+        name = getattr(event, "name", None) or ""
+        record = f"{now!r}|{type(event).__name__}|{name}\n"
+        self._hash.update(record.encode("utf-8"))
+
+    def digest(self) -> str:
+        return self._hash.hexdigest()
+
+
+@dataclass(frozen=True)
+class ReplayReport:
+    """Digests and event counts from ``runs`` executions."""
+
+    digests: tuple
+    event_counts: tuple
+
+    @property
+    def divergent(self) -> bool:
+        return len(set(self.digests)) > 1
+
+    def describe(self) -> str:
+        if not self.divergent:
+            return (f"replay: {len(self.digests)} runs identical "
+                    f"({self.event_counts[0]} events, "
+                    f"digest {self.digests[0][:16]})")
+        lines = ["replay: DIVERGENT runs"]
+        lines.extend(
+            f"  run {index}: {count} events, digest {digest[:16]}"
+            for index, (digest, count)
+            in enumerate(zip(self.digests, self.event_counts)))
+        return "\n".join(lines)
+
+
+def check_replay(scenario, runs: int = 2) -> ReplayReport:
+    """Run ``scenario(recorder)`` ``runs`` times and compare streams.
+
+    ``scenario`` must build a **fresh** environment each call, attach
+    the recorder to it (``recorder.attach(env)``) before running, and
+    share no mutable state across calls — shared state is exactly the
+    bug class this checker exists to expose.
+    """
+    if runs < 2:
+        raise ValueError("a replay check needs at least 2 runs")
+    digests = []
+    counts = []
+    for _ in range(runs):
+        recorder = ReplayRecorder()
+        scenario(recorder)
+        digests.append(recorder.digest())
+        counts.append(recorder.events)
+    return ReplayReport(tuple(digests), tuple(counts))
+
+
+def deployment_scenario(image_factory, node_count: int = 1,
+                        server_count: int = 1, p2p: bool = False,
+                        select_policy: str = "round-robin",
+                        loss_probability: float = 0.0,
+                        wave_size: int | None = None,
+                        policy=None, wait: bool = True):
+    """A canned scenario callable for :func:`check_replay`.
+
+    ``image_factory`` is a zero-argument callable returning a fresh
+    :class:`~repro.guest.osimage.OsImage` — each run needs its own
+    (images carry mutable content maps).  ``wave_size`` switches from
+    a flat ``deploy_all`` to the wave scheduler.
+    """
+    from repro.cloud import Cluster, WaveScheduler, build_testbed
+
+    def scenario(recorder: ReplayRecorder) -> None:
+        testbed = build_testbed(node_count=node_count,
+                                server_count=server_count, p2p=p2p,
+                                select_policy=select_policy,
+                                loss_probability=loss_probability,
+                                image=image_factory())
+        recorder.attach(testbed.env)
+        cluster = Cluster(testbed)
+
+        def run():
+            if wave_size is not None:
+                scheduler = WaveScheduler(cluster, wave_size=wave_size)
+                yield from scheduler.run("bmcast", policy=policy)
+            else:
+                yield from cluster.deploy_all("bmcast", policy=policy)
+            if wait:
+                yield from cluster.wait_deployment_complete(
+                    settle_seconds=1.0)
+
+        testbed.env.run(until=testbed.env.process(run()))
+
+    return scenario

@@ -1,0 +1,157 @@
+"""Runtime sanitizer framework: violations, base class, the suite.
+
+Sanitizers are opt-in observers that subscribe to the hooks the core
+already exposes (disk write observers, bitmap transition listeners,
+AoE client observers, directory listeners) and cross-check the
+invariants the paper's correctness argument rests on.  They never
+mutate simulation state and cost nothing when not attached.
+
+Use::
+
+    suite = SanitizerSuite(env)
+    provisioner.deploy("bmcast", sanitizers=suite, ...)   # attaches
+    ...run...
+    suite.finalize()
+    suite.assert_clean()          # or inspect suite.violations
+
+``strict=True`` turns the first violation into an immediate
+:class:`SanitizerError` at the exact simulated moment it happens —
+the right mode for bisecting; the default collects and reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class SanitizerError(AssertionError):
+    """Raised in strict mode, and by :meth:`SanitizerSuite.assert_clean`."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach, stamped with simulated time."""
+
+    sanitizer: str
+    rule: str
+    time: float
+    message: str
+    details: dict = field(default_factory=dict)
+
+    def format(self) -> str:
+        extra = ""
+        if self.details:
+            extra = " (" + ", ".join(
+                f"{key}={value!r}"
+                for key, value in sorted(self.details.items())) + ")"
+        return (f"[{self.sanitizer}] t={self.time:.6f} "
+                f"{self.rule}: {self.message}{extra}")
+
+
+class Sanitizer:
+    """Base class: violation collection + strict mode."""
+
+    name = "sanitizer"
+
+    def __init__(self, env, strict: bool = False):
+        self.env = env
+        self.strict = strict
+        self.violations: list[Violation] = []
+
+    def report(self, rule: str, message: str, **details) -> Violation:
+        violation = Violation(self.name, rule, self.env.now, message,
+                              details)
+        self.violations.append(violation)
+        if self.strict:
+            raise SanitizerError(violation.format())
+        return violation
+
+    def finalize(self) -> None:
+        """End-of-run checks; the suite calls this once."""
+
+
+class SanitizerSuite:
+    """All runtime sanitizers for one simulation, attached per VMM.
+
+    One suite may span a whole cluster: ``attach_deployment`` is called
+    once per BMcast VMM (the provisioner does it when handed
+    ``sanitizers=suite``), and ``violations`` aggregates across all of
+    them.
+    """
+
+    def __init__(self, env, strict: bool = False):
+        self.env = env
+        self.strict = strict
+        self.sanitizers: list[Sanitizer] = []
+        self._finalized = False
+
+    def attach_deployment(self, vmm, image) -> "SanitizerSuite":
+        """Wire every deployment sanitizer to one BMcast VMM.
+
+        Must be called before the VMM boots — attaching late misses
+        early guest writes and fabricates consistency violations.
+        """
+        from repro.analysis.aoe_conformance import AoeConformanceValidator
+        from repro.analysis.consistency import BitmapDiskChecker
+        from repro.analysis.write_race import WriteRaceDetector
+
+        disk = vmm.machine.disk_controller.disk
+        self.sanitizers.append(WriteRaceDetector(
+            self.env, bitmap=vmm.bitmap, disk=disk, strict=self.strict))
+        checker = BitmapDiskChecker(
+            self.env, bitmap=vmm.bitmap, disk=disk,
+            image_contents=image.contents, strict=self.strict)
+        self.sanitizers.append(checker)
+        # Check the full invariant at the two moments the issue names:
+        # de-virtualization (mediation ends) and deploy-complete (the
+        # copier's done event fires once the image is fully local).
+        vmm.devirtualizer.completion_listeners.append(
+            lambda: checker.check(when="devirt"))
+        vmm.copier.done.callbacks.append(
+            lambda event: checker.check(when="deploy-complete"))
+        self.sanitizers.append(AoeConformanceValidator(
+            self.env, initiator=vmm.initiator, fabric=vmm.fabric,
+            strict=self.strict))
+        return self
+
+    def add(self, sanitizer: Sanitizer) -> Sanitizer:
+        """Register a hand-built sanitizer with the suite."""
+        self.sanitizers.append(sanitizer)
+        return sanitizer
+
+    @property
+    def violations(self) -> list[Violation]:
+        return [violation
+                for sanitizer in self.sanitizers
+                for violation in sanitizer.violations]
+
+    def finalize(self) -> None:
+        """Run every sanitizer's end-of-run checks (idempotent)."""
+        if self._finalized:
+            return
+        self._finalized = True
+        for sanitizer in self.sanitizers:
+            sanitizer.finalize()
+
+    def assert_clean(self) -> None:
+        self.finalize()
+        if self.violations:
+            raise SanitizerError(self.describe())
+
+    def summary(self) -> dict:
+        """Violation counts per sanitizer name."""
+        counts: dict[str, int] = {}
+        for sanitizer in self.sanitizers:
+            counts[sanitizer.name] = counts.get(sanitizer.name, 0) \
+                + len(sanitizer.violations)
+        return counts
+
+    def describe(self) -> str:
+        violations = self.violations
+        if not violations:
+            return ("sanitizers: clean "
+                    f"({len(self.sanitizers)} attached)")
+        lines = [f"sanitizers: {len(violations)} violation(s)"]
+        lines.extend(violation.format()
+                     for violation in violations)
+        return "\n".join(lines)

@@ -71,6 +71,11 @@ class AoeInitiator:
         self.poll_interval = poll_interval
         self._tags = count()
         self._pending: dict[int, _Transaction] = {}
+        #: Called with ``(kind, **fields)`` at protocol milestones —
+        #: ``"send"`` (fresh or retransmit), ``"rtt-sample"``, ``"nak"``,
+        #: ``"timeout"``, ``"complete"``.  The AoE conformance validator
+        #: subscribes here; observers must not mutate the client.
+        self.observers: list = []
         self.rtt = RttEstimator(initial_rto, min_rto)
         self.min_rto = min_rto
         self._dispatcher = None
@@ -158,6 +163,10 @@ class AoeInitiator:
 
     # -- transaction engine ------------------------------------------------------------
 
+    def _emit(self, kind: str, **fields) -> None:
+        for observer in self.observers:
+            observer(kind, **fields)
+
     def _transact(self, command: AoeCommand, target: str | None = None,
                   protocol: str = "aoe"):
         if self._dispatcher is None:
@@ -170,6 +179,11 @@ class AoeInitiator:
             f"aoe-{command.op}", lba=command.lba,
             sectors=command.sector_count, target=transaction.target)
         try:
+            if self.observers:
+                self._emit("send", tag=command.tag, op=command.op,
+                           lba=command.lba,
+                           sector_count=command.sector_count,
+                           target=transaction.target, retransmit=False)
             yield from self._send_command(transaction)
             while not transaction.done.triggered:
                 timer = self.env.timeout(self.rto, value="timeout")
@@ -183,6 +197,9 @@ class AoeInitiator:
                 transaction.retries += 1
                 if transaction.retries > self.MAX_RETRIES:
                     self._m_timeouts.inc()
+                    if self.observers:
+                        self._emit("timeout", tag=command.tag,
+                                   target=transaction.target)
                     raise AoeTimeoutError(
                         f"AoE tag {command.tag} gave up after "
                         f"{self.MAX_RETRIES} retries")
@@ -191,13 +208,29 @@ class AoeInitiator:
                 # Back off the estimator on loss (Karn-style doubling).
                 self.rtt.back_off()
                 transaction.sent_at = self.env.now
+                if self.observers:
+                    self._emit("send", tag=command.tag, op=command.op,
+                               lba=command.lba,
+                               sector_count=command.sector_count,
+                               target=transaction.target,
+                               retransmit=True,
+                               retries=transaction.retries)
                 yield from self._send_command(transaction)
         finally:
             self._pending.pop(command.tag, None)
             self.telemetry.tracer.end(span, retries=transaction.retries)
         if transaction.nak is not None:
+            if self.observers:
+                self._emit("nak", tag=command.tag,
+                           target=transaction.target, lba=command.lba,
+                           sector_count=command.sector_count,
+                           reason=transaction.nak.reason)
             raise AoeNakError(command.tag, transaction.target,
                               transaction.nak.reason)
+        if self.observers:
+            self._emit("complete", tag=command.tag,
+                       target=transaction.target,
+                       retries=transaction.retries)
         self._m_rtt[command.op].observe(self.env.now - started)
         return transaction
 
@@ -238,20 +271,32 @@ class AoeInitiator:
         transaction.last_activity = self.env.now
         transaction.reassembly.add(fragment)
         if transaction.reassembly.complete:
-            # Karn's algorithm: a reply to a retransmitted command is
-            # ambiguous — it may answer either copy — so it must not
-            # feed the estimator.
-            if transaction.retries == 0:
-                self.rtt.observe(self.env.now - transaction.sent_at)
+            self._sample_rtt(transaction)
             transaction.done.succeed()
 
     def _on_ack(self, ack: AoeAck) -> None:
         transaction = self._pending.get(ack.tag)
         if transaction is None or transaction.done.triggered:
             return
-        if transaction.retries == 0:
-            self.rtt.observe(self.env.now - transaction.sent_at)
+        self._sample_rtt(transaction)
         transaction.done.succeed()
+
+    def _sample_rtt(self, transaction: _Transaction) -> None:
+        """Karn's algorithm: a reply to a retransmitted command is
+        ambiguous — it may answer either copy — so it must not feed the
+        estimator."""
+        if transaction.retries != 0:
+            return
+        self._record_rtt_sample(transaction)
+
+    def _record_rtt_sample(self, transaction: _Transaction) -> None:
+        # Split from the gate above so the conformance validator sees
+        # every sample taken, even by a subclass overriding the gate.
+        if self.observers:
+            self._emit("rtt-sample", tag=transaction.command.tag,
+                       retries=transaction.retries,
+                       rtt=self.env.now - transaction.sent_at)
+        self.rtt.observe(self.env.now - transaction.sent_at)
 
     def _on_nak(self, nak: AoeNak) -> None:
         transaction = self._pending.get(nak.tag)

@@ -9,7 +9,13 @@ Commands:
   and print the per-wave table (replicas, p2p, selection policy).
 * ``sweep``     — the moderation write-interval sweep (Figure 14 shape).
 * ``metrics``   — deploy once with telemetry on and print the summary.
+* ``lint``      — run simlint (repro.analysis) over the source tree.
 * ``info``      — the calibrated testbed constants.
+
+``deploy`` and ``scaleout`` accept ``--sanitize`` to run with every
+runtime sanitizer attached (exit 1 on any violation), and ``deploy``
+accepts ``--replay-check`` to run the scenario twice and compare the
+event-stream digests.
 
 ``deploy`` and ``compare`` accept ``--metrics-out FILE`` to record the
 run with the :mod:`repro.obs` telemetry subsystem and export it — JSON
@@ -63,6 +69,12 @@ def _build_parser() -> argparse.ArgumentParser:
     deploy.add_argument("--select-policy", choices=POLICIES,
                         default="round-robin",
                         help="replica selection policy")
+    deploy.add_argument("--sanitize", action="store_true",
+                        help="attach the runtime sanitizers (BMcast); "
+                        "exit 1 on any violation")
+    deploy.add_argument("--replay-check", action="store_true",
+                        help="run the scenario twice and compare the "
+                        "event-stream digests; exit 1 on divergence")
 
     scaleout = sub.add_parser(
         "scaleout", help="deploy a fleet in waves over the fabric")
@@ -83,6 +95,9 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="OS image size (default 0.5 for speed)")
     scaleout.add_argument("--wait", action="store_true",
                           help="run until every deployment finishes")
+    scaleout.add_argument("--sanitize", action="store_true",
+                          help="attach the runtime sanitizers to every "
+                          "deployment; exit 1 on any violation")
 
     compare = sub.add_parser("compare", help="compare every method")
     compare.add_argument("--image-gb", type=float, default=4.0)
@@ -103,6 +118,13 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="wait for deployment to finish (BMcast)")
     metrics.add_argument("--metrics-out", metavar="FILE",
                          help="also export the telemetry to FILE")
+
+    lint = sub.add_parser(
+        "lint", help="run simlint over the source tree")
+    lint.add_argument("paths", nargs="*", default=["src/repro"],
+                      help="files or directories (default: src/repro)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalog and exit")
 
     sub.add_parser("info", help="print testbed calibration")
     return parser
@@ -144,6 +166,14 @@ def cmd_deploy(args, print_summary: bool = False) -> int:
         options["prefetch_lbas"] = testbed.image.boot_lbas()
     if getattr(args, "trace", False) and args.method == "bmcast":
         options["trace"] = True
+    suite = None
+    if getattr(args, "sanitize", False):
+        if args.method != "bmcast":
+            print("--sanitize requires --method bmcast")
+            return 2
+        from repro.analysis import SanitizerSuite
+        suite = SanitizerSuite(env)
+        options["sanitizers"] = suite
 
     instance = env.run(until=env.process(provisioner.deploy(
         args.method, skip_firmware=not getattr(args, "cold", False),
@@ -170,7 +200,29 @@ def cmd_deploy(args, print_summary: bool = False) -> int:
     if getattr(args, "metrics_out", None):
         telemetry.write(args.metrics_out)
         print(f"telemetry written to {args.metrics_out}")
-    return 0
+    status = 0
+    if suite is not None:
+        suite.finalize()
+        print(suite.describe())
+        if suite.violations:
+            status = 1
+    if getattr(args, "replay_check", False):
+        status = max(status, _replay_check(args))
+    return status
+
+
+def _replay_check(args) -> int:
+    """Run the deploy scenario twice and compare event streams."""
+    from repro.analysis import check_replay, deployment_scenario
+    scenario = deployment_scenario(
+        lambda: _image(args.image_gb),
+        server_count=getattr(args, "replicas", 1),
+        p2p=getattr(args, "p2p", False),
+        select_policy=getattr(args, "select_policy", "round-robin"),
+        wait=getattr(args, "wait", False))
+    report = check_replay(scenario, runs=2)
+    print(report.describe())
+    return 1 if report.divergent else 0
 
 
 def cmd_scaleout(args) -> int:
@@ -184,7 +236,13 @@ def cmd_scaleout(args) -> int:
     cluster = Cluster(testbed)
     scheduler = WaveScheduler(cluster, wave_size=args.wave_size,
                               seed_fill_fraction=args.seed_fill)
-    env.run(until=env.process(scheduler.run("bmcast")))
+    options = {}
+    suite = None
+    if getattr(args, "sanitize", False):
+        from repro.analysis import SanitizerSuite
+        suite = SanitizerSuite(env)
+        options["sanitizers"] = suite
+    env.run(until=env.process(scheduler.run("bmcast", **options)))
     if args.wait:
         env.run(until=env.process(
             cluster.wait_deployment_complete()))
@@ -207,7 +265,20 @@ def cmd_scaleout(args) -> int:
         f"policy {args.select_policy}"))
     print(f"fleet ready in {scheduler.summary()['total_seconds']:.1f}s; "
           f"peers registered: {fabric['peers_registered']}")
+    if suite is not None:
+        suite.finalize()
+        print(suite.describe())
+        if suite.violations:
+            return 1
     return 0
+
+
+def cmd_lint(args) -> int:
+    from repro.analysis.lint import main as lint_main
+    argv = list(args.paths or ["src/repro"])
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint_main(argv)
 
 
 def cmd_compare(args) -> int:
@@ -340,6 +411,7 @@ def main(argv=None) -> int:
         "compare": cmd_compare,
         "sweep": cmd_sweep,
         "metrics": cmd_metrics,
+        "lint": cmd_lint,
         "info": cmd_info,
     }[args.command]
     return handler(args)

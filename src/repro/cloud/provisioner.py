@@ -95,6 +95,7 @@ class Provisioner:
                        **vmm_options):
         image = self.testbed.image
         spans = self.telemetry.tracer
+        sanitizers = vmm_options.pop("sanitizers", None)
         vmm_options.setdefault("telemetry", self.telemetry)
         fabric = getattr(self.testbed, "fabric", None)
         if fabric is not None:
@@ -104,6 +105,10 @@ class Provisioner:
                         self.testbed.server_port,
                         image_sectors=image.total_sectors,
                         policy=policy, **vmm_options)
+        if sanitizers is not None:
+            # Before boot: attaching late misses early guest writes and
+            # the sanitizers would report phantom inconsistencies.
+            sanitizers.attach_deployment(vmm, image=image)
         start = self.env.now
         boot_span = spans.start("vmm-netboot")
         yield from node.machine.firmware.network_boot()

@@ -36,17 +36,32 @@ class PeerDirectory:
 
     def __init__(self):
         self._summaries: dict[str, set[int]] = {}
+        #: Called with ``(event, port, **details)`` on every directory
+        #: mutation — ``"publish"`` (``blocks=`` the new summary),
+        #: ``"invalidate"`` (``block=``) and ``"withdraw"``.  The AoE
+        #: conformance validator uses this to prove every NAK is
+        #: followed by the matching invalidation.
+        self.listeners: list = []
         self.publishes = 0
         self.invalidations = 0
+
+    def _notify(self, event: str, port: str, **details) -> None:
+        for listener in self.listeners:
+            listener(event, port, **details)
 
     def publish(self, port: str, blocks) -> None:
         """Replace ``port``'s advertised block set."""
         self._summaries[port] = set(blocks)
         self.publishes += 1
+        if self.listeners:
+            self._notify("publish", port,
+                         blocks=frozenset(self._summaries[port]))
 
     def withdraw(self, port: str) -> None:
         """Remove a peer entirely (service stopped)."""
         self._summaries.pop(port, None)
+        if self.listeners:
+            self._notify("withdraw", port)
 
     def invalidate(self, port: str, block: int) -> None:
         """A NAK proved ``port`` no longer serves ``block``."""
@@ -54,6 +69,8 @@ class PeerDirectory:
         if summary is not None:
             summary.discard(block)
             self.invalidations += 1
+            if self.listeners:
+                self._notify("invalidate", port, block=block)
 
     def peers_for(self, blocks, exclude: str | None = None) -> list[str]:
         """Ports advertising *every* block in ``blocks``, sorted."""

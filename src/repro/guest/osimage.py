@@ -12,11 +12,11 @@ work.  Calibrated against the paper's numbers: ~29 s boot on bare metal,
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 
 from repro import params
 from repro.util.intervalmap import IntervalMap
+from repro.util.rng import make_rng
 
 CHUNK_BYTES = 2**20
 CHUNK_SECTORS = CHUNK_BYTES // params.SECTOR_BYTES
@@ -67,7 +67,7 @@ class OsImage:
 
     def boot_trace(self) -> list[BootStep]:
         """Deterministic boot access trace (same seed -> same trace)."""
-        rng = random.Random(self.seed)
+        rng = make_rng(self.seed)
         read_bytes = self.boot_read_sectors * params.SECTOR_BYTES
         total_reads = self.boot_read_bytes // read_bytes
         clusters = max(1, total_reads // self.boot_cluster_reads)

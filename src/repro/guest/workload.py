@@ -8,10 +8,9 @@ the instance storage facade.
 
 from __future__ import annotations
 
-import random
-
 from repro import params
 from repro.metrics.timeseries import TimeSeries
+from repro.util.rng import make_rng
 
 
 class DiskWorkload:
@@ -110,7 +109,7 @@ class RandomReader(DiskWorkload):
         self.span_sectors = span_sectors
         self.request_count = requests
         self.request_sectors = max(1, request_bytes // params.SECTOR_BYTES)
-        self._rng = random.Random(seed)
+        self._rng = make_rng(seed)
 
     def run(self):
         """Generator: issue the random reads; returns mean latency."""
@@ -149,7 +148,7 @@ class MixedWorkload(DiskWorkload):
         self.rate = rate
         self.read_fraction = read_fraction
         self.request_sectors = max(1, request_bytes // params.SECTOR_BYTES)
-        self._rng = random.Random(seed)
+        self._rng = make_rng(seed)
         self.reads = 0
         self.writes = 0
 

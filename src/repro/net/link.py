@@ -11,12 +11,11 @@ gigabit).
 
 from __future__ import annotations
 
-import random
-
 from repro import params
 from repro.net.packet import Frame
 from repro.obs.telemetry import NULL_TELEMETRY
 from repro.sim import Environment, Resource, Store
+from repro.util.rng import make_rng
 
 
 class LossModel:
@@ -26,7 +25,7 @@ class LossModel:
         if not 0.0 <= loss_probability < 1.0:
             raise ValueError("loss probability must be in [0, 1)")
         self.loss_probability = loss_probability
-        self._rng = random.Random(seed)
+        self._rng = make_rng(seed)
         self.dropped = 0
 
     def drops(self, frame: Frame) -> bool:

@@ -46,6 +46,11 @@ class Environment:
         # they let any report answer "how much work did this sim do").
         self.events_processed = 0
         self.processes_spawned = 0
+        #: Optional callable ``(now, event)`` invoked for every event the
+        #: run loop pops, *before* its callbacks run.  The replay-divergence
+        #: checker (repro.analysis.replay) folds this stream into a rolling
+        #: hash; the hook must never mutate simulation state.
+        self.trace_hook = None
 
     # -- clock and introspection ------------------------------------------
 
@@ -102,6 +107,8 @@ class Environment:
         except IndexError:
             raise EmptySchedule() from None
         self.events_processed += 1
+        if self.trace_hook is not None:
+            self.trace_hook(self._now, event)
 
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:

@@ -113,6 +113,12 @@ class AhciController:
         self.ghc = 0
 
         self._active_slots: set[int] = set()
+        #: Origin stamped onto decoded requests.  The controller cannot
+        #: tell who programmed it; the device mediator sets this to
+        #: "vmm" for the duration of its own raw commands so disk-level
+        #: observers (moderation accounting, sanitizers) see true
+        #: provenance.
+        self.request_origin = "guest"
 
         # Metrics.
         self.commands_executed = 0
@@ -214,6 +220,7 @@ class AhciController:
         if buffer.sector_count < request.sector_count:
             raise ValueError("AHCI DMA buffer too small")
         request.buffer = buffer
+        request.origin = self.request_origin
         buffer.lba = request.lba
         buffer.sector_count = request.sector_count
         yield from self.disk.execute(request)

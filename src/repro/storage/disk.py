@@ -9,6 +9,7 @@ not sum to the bare-metal rate).
 
 from __future__ import annotations
 
+import hashlib
 import math
 
 from repro import params
@@ -136,9 +137,26 @@ class Disk:
 
     # -- convenience -----------------------------------------------------------
 
+    def content_hash(self, lba: int, sector_count: int) -> str:
+        """Stable digest of the symbolic content runs in a sector range.
+
+        Two ranges hash equal iff their (clipped) token runs are equal —
+        what the bitmap↔disk consistency checker compares against the
+        image store, and what its violation reports print instead of
+        full run lists.
+        """
+        runs = list(self.contents.runs_in(lba, sector_count))
+        return content_digest(runs)
+
     @property
     def head_lba(self) -> int:
         return self._head_lba
 
     def utilization(self, elapsed: float) -> float:
         return self.busy_seconds / elapsed if elapsed > 0 else 0.0
+
+
+def content_digest(runs) -> str:
+    """Digest of ``(start, end, token)`` content runs (see above)."""
+    data = repr(list(runs)).encode("utf-8")
+    return hashlib.blake2b(data, digest_size=8).hexdigest()

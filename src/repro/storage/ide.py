@@ -166,6 +166,11 @@ class IdeController:
         self.irq_line = irq_line
 
         self.taskfile = Taskfile()
+        #: Origin stamped onto decoded requests.  The controller cannot
+        #: tell who programmed it; the device mediator sets this to
+        #: "vmm" for the duration of its own raw commands so disk-level
+        #: observers see true provenance.
+        self.request_origin = "guest"
         self.status = STATUS_DRDY
         self.error = 0
         self.bm_command = 0
@@ -269,6 +274,7 @@ class IdeController:
                 f"DMA buffer too small: {buffer.sector_count} < "
                 f"{request.sector_count}")
         request.buffer = buffer
+        request.origin = self.request_origin
         buffer.lba = request.lba
         buffer.sector_count = request.sector_count
         yield from self.disk.execute(request)

@@ -77,6 +77,11 @@ class MegaRaidController:
         self.outstanding: set[int] = set()
         self._completions: deque[int] = deque()
         self._doorbell = False
+        #: Origin stamped onto decoded requests.  The controller cannot
+        #: tell who programmed it; the device mediator sets this to
+        #: "vmm" for the duration of its own raw commands so disk-level
+        #: observers see true provenance.
+        self.request_origin = "guest"
 
         # Metrics.
         self.commands_executed = 0
@@ -150,6 +155,7 @@ class MegaRaidController:
             if buffer.sector_count < request.sector_count:
                 raise ValueError("MFI DMA buffer too small")
             request.buffer = buffer
+            request.origin = self.request_origin
             buffer.lba = request.lba
             buffer.sector_count = request.sector_count
             yield from self.disk.execute(request)

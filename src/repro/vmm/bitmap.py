@@ -47,8 +47,17 @@ class BlockBitmap:
         #: write — the provenance signal peer chunk services taint on
         #: (the disk itself cannot tell who programmed the controller).
         self.guest_write_listeners: list = []
+        #: Called with ``(event, block, **details)`` on every state
+        #: transition attempt — ``"claim"``, ``"release"``, ``"commit"``
+        #: and ``"guest-fill"``.  The write-race sanitizer replays these
+        #: to check the claim protocol; listeners must not mutate the
+        #: bitmap.
+        self.transition_listeners: list = []
         # Metrics.
         self.copier_skips = 0
+        #: Claims attempted on a block already in COPYING — a second
+        #: retriever racing the first, which the protocol forbids.
+        self.double_claims = 0
 
     # -- block geometry ---------------------------------------------------------
 
@@ -143,20 +152,42 @@ class BlockBitmap:
 
     # -- transitions --------------------------------------------------------------------
 
+    def _notify(self, event: str, block: int, **details) -> None:
+        for listener in self.transition_listeners:
+            listener(event, block, **details)
+
     def try_claim(self, block: int) -> bool:
         """Copier: atomically move EMPTY -> COPYING.  False if not EMPTY."""
-        if self.state(block) is not BlockState.EMPTY:
+        state = self.state(block)
+        if state is not BlockState.EMPTY:
             self.copier_skips += 1
+            if state is BlockState.COPYING:
+                self.double_claims += 1
+            if self.transition_listeners:
+                self._notify("claim", block, granted=False,
+                             state=state.value)
             return False
         self._copying.add(block)
+        if self.transition_listeners:
+            self._notify("claim", block, granted=True, state=state.value)
         return True
 
     def release_claim(self, block: int) -> None:
+        was_claimed = block in self._copying
         self._copying.discard(block)
+        if self.transition_listeners:
+            self._notify("release", block, was_claimed=was_claimed,
+                         state=self.state(block).value)
 
     def commit_fill(self, block: int) -> None:
         """Copier: COPYING -> FILLED after the disk write completed."""
-        if block not in self._copying:
+        was_claimed = block in self._copying
+        if self.transition_listeners:
+            # Emitted before raising so the sanitizer sees the attempt
+            # even if the caller swallows the exception.
+            self._notify("commit", block, was_claimed=was_claimed,
+                         state=self.state(block).value)
+        if not was_claimed:
             raise ValueError(f"block {block} was not claimed")
         self._copying.discard(block)
         self._filled.set_range(block, 1, True)
@@ -183,9 +214,13 @@ class BlockBitmap:
             overlap_end = min(end, block_end)
             if overlap_start == block_start and overlap_end == block_end:
                 # Whole block overwritten by the guest.
+                was_claimed = block in self._copying
                 self._copying.discard(block)
                 self._filled.set_range(block, 1, True)
                 self.dirty.clear_range(block_start, block_count)
+                if self.transition_listeners:
+                    self._notify("guest-fill", block,
+                                 was_claimed=was_claimed)
             else:
                 self.dirty.set_range(overlap_start,
                                      overlap_end - overlap_start, True)

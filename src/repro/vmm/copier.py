@@ -17,6 +17,7 @@ from __future__ import annotations
 from repro import params
 from repro.sim import Environment, Interrupt, Store
 from repro.storage.blockdev import BlockOp, BlockRequest, SectorBuffer
+from repro.vmm.bitmap import BlockState
 from repro.vmm.deploy import DeploymentContext
 from repro.vmm.mediator import DeviceMediator
 from repro.vmm.moderation import ModerationPolicy
@@ -252,24 +253,34 @@ class BackgroundCopier:
                       request.buffer.runs)
         self.bytes_written += written * params.SECTOR_BYTES
         self._m_bytes_written.inc(written * params.SECTOR_BYTES)
-        try:
-            bitmap.commit_fill(block)
-            self.deployment.note_block_filled(block)
-            self.blocks_filled += 1
-            self._m_blocks_filled.set(self.blocks_filled)
-            self._m_progress.set(bitmap.filled_count
-                                 / bitmap.block_count)
-            self._m_throughput.record(self.env.now, self.write_rate())
-            if self.blocks_filled % 256 == 0 or bitmap.complete:
-                self.deployment.tracer.log(
-                    "copy", "background copy progress",
-                    filled=bitmap.filled_count,
-                    total=bitmap.block_count)
-        except ValueError:
+        state = bitmap.state(block)
+        if state is BlockState.FILLED:
             # Claim vanished mid-write (guest full-block write was queued
             # and recorded): the guest's replayed write will land after
             # ours, so the disk still converges to the newest data.
-            pass
+            # Committing here would be a protocol violation — the block
+            # is the guest's now.
+            return
+        if state is not BlockState.COPYING:
+            # EMPTY with our write completed means someone released our
+            # claim out from under us: a genuine protocol bug, not the
+            # benign race above.  The old code swallowed this under a
+            # blanket ``except ValueError``.
+            raise RuntimeError(
+                f"copier lost its claim on block {block} "
+                f"(state is {state.value!r} after write)")
+        bitmap.commit_fill(block)
+        self.deployment.note_block_filled(block)
+        self.blocks_filled += 1
+        self._m_blocks_filled.set(self.blocks_filled)
+        self._m_progress.set(bitmap.filled_count
+                             / bitmap.block_count)
+        self._m_throughput.record(self.env.now, self.write_rate())
+        if self.blocks_filled % 256 == 0 or bitmap.complete:
+            self.deployment.tracer.log(
+                "copy", "background copy progress",
+                filled=bitmap.filled_count,
+                total=bitmap.block_count)
 
     def _do_writeback(self, lba: int, sector_count: int, runs: list):
         """Persist data fetched by copy-on-read.

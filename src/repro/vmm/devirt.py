@@ -39,6 +39,10 @@ class Devirtualizer:
         self.vmxoff_mode = vmxoff_mode
         self.management_nic_slot = management_nic_slot
         self.completed_at: float | None = None
+        #: No-argument callables invoked the instant de-virtualization
+        #: finishes — the point of no return, and hence the natural spot
+        #: for end-of-mediation invariant checks (repro.analysis).
+        self.completion_listeners: list = []
 
     def run(self, poll_interval: float = 1e-3):
         """Generator: perform de-virtualization; returns elapsed seconds."""
@@ -72,6 +76,8 @@ class Devirtualizer:
                     cpu.vmxoff()
 
         self.completed_at = self.env.now
+        for listener in self.completion_listeners:
+            listener()
         return self.env.now - start
 
     @property

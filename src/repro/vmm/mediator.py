@@ -335,10 +335,19 @@ class DeviceMediator:
 
     def _issue_raw_and_poll(self, request: BlockRequest,
                             buffer: SectorBuffer):
-        self._issue_to_device(request, buffer)
-        poll = self.deployment.poll_interval
-        while not self._device_done():
-            yield self.env.timeout(poll)
+        # The controller stamps decoded requests with request_origin;
+        # while the VMM owns the device, commands are the VMM's.  The
+        # device lock guarantees no guest command executes inside this
+        # window (queued ones replay after restore, as the guest).
+        controller = self.machine.disk_controller
+        controller.request_origin = "vmm"
+        try:
+            self._issue_to_device(request, buffer)
+            poll = self.deployment.poll_interval
+            while not self._device_done():
+                yield self.env.timeout(poll)
+        finally:
+            controller.request_origin = "guest"
 
     def _wait_device_idle(self):
         poll = self.deployment.poll_interval

@@ -1,0 +1,48 @@
+"""Shared fixtures: sanitized deployments (repro.analysis).
+
+``sanitized_cluster`` deploys a BMcast fleet with every runtime
+sanitizer attached, so key scenarios run under the full invariant
+check by default (ISSUE 3's "pytest fixture that runs key scenarios
+sanitized").
+"""
+
+import pytest
+
+from repro.analysis import SanitizerSuite
+from repro.cloud import Cluster, build_testbed
+from repro.guest.osimage import OsImage
+from repro.vmm.moderation import FULL_SPEED
+
+MB = 2**20
+
+
+@pytest.fixture
+def sanitized_cluster():
+    """Factory: deploy ``node_count`` BMcast nodes fully sanitized.
+
+    Returns ``(testbed, cluster, suite)`` after the deployment (and,
+    with ``wait=True``, the background copy) has finished.  The suite
+    is *not* finalized — tests inspect or ``assert_clean()`` it.
+    """
+
+    def run(node_count=1, image_mb=32, wait=True, policy=FULL_SPEED,
+            **testbed_kwargs):
+        image = OsImage(size_bytes=image_mb * MB,
+                        boot_read_bytes=min(2 * MB, image_mb * MB // 4),
+                        boot_think_seconds=0.5)
+        testbed = build_testbed(node_count=node_count, image=image,
+                                **testbed_kwargs)
+        suite = SanitizerSuite(testbed.env)
+        cluster = Cluster(testbed)
+
+        def scenario():
+            yield from cluster.deploy_all("bmcast", policy=policy,
+                                          sanitizers=suite)
+            if wait:
+                yield from cluster.wait_deployment_complete(
+                    settle_seconds=1.0)
+
+        testbed.env.run(until=testbed.env.process(scenario()))
+        return testbed, cluster, suite
+
+    return run

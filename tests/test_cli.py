@@ -64,3 +64,45 @@ def test_unknown_command_rejected():
 def test_unknown_method_rejected():
     with pytest.raises(SystemExit):
         main(["deploy", "--method", "smoke-signals"])
+
+
+def test_lint_command_clean_tree(capsys):
+    assert main(["lint"]) == 0
+    out = capsys.readouterr().out
+    assert "clean" in out
+
+
+def test_lint_command_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "SIM001" in out and "SIM006" in out
+
+
+def test_lint_command_flags_bad_file(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nSTART = time.time()\n")
+    assert main(["lint", str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "SIM001" in out
+
+
+def test_deploy_sanitized(capsys):
+    assert main(["deploy", "--method", "bmcast", "--image-gb", "0.125",
+                 "--wait", "--sanitize"]) == 0
+    out = capsys.readouterr().out
+    assert "sanitizers: clean" in out
+
+
+def test_deploy_replay_check(capsys):
+    assert main(["deploy", "--method", "bmcast", "--image-gb", "0.0625",
+                 "--replay-check"]) == 0
+    out = capsys.readouterr().out
+    assert "runs identical" in out
+
+
+def test_scaleout_sanitized(capsys):
+    assert main(["scaleout", "--nodes", "2", "--wave-size", "2",
+                 "--image-gb", "0.0625", "--p2p", "--wait",
+                 "--sanitize"]) == 0
+    out = capsys.readouterr().out
+    assert "sanitizers: clean" in out
