@@ -18,6 +18,10 @@ from repro.vmm.moderation import FULL_SPEED
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
+#: Regression-tracking records live at the repo root (``BENCH_*.json``)
+#: so CI can diff them across runs without digging into results/.
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
 MB = 2**20
 GB = 2**30
 
@@ -71,13 +75,20 @@ def run(env, generator):
     return env.run(until=env.process(generator))
 
 
-def emit(name: str, text: str, data=None) -> None:
+def emit(name: str, text: str, data=None, figures=None) -> None:
     """Print a figure's table and persist it under results/.
 
     ``data`` (any JSON-serializable structure — typically the rows the
     table was built from) is additionally written to ``{name}.json`` so
     downstream tooling can consume results without screen-scraping the
     text tables.
+
+    ``figures`` is a flat ``{metric_name: number}`` dict of the bench's
+    headline *simulated-time* figures (ready seconds, hit ratios — never
+    wall-clock timings, which would make records machine-dependent).
+    When given, a record is appended to ``BENCH_{name}.json`` at the
+    repo root; ``benchmarks/check_regression.py`` compares the last two
+    records and fails CI on a >10% regression.
     """
     print()
     print(text)
@@ -87,6 +98,34 @@ def emit(name: str, text: str, data=None) -> None:
         (RESULTS_DIR / f"{name}.json").write_text(
             json.dumps(data, indent=2, sort_keys=True, default=str)
             + "\n")
+    if figures is not None:
+        _append_bench_record(name, figures)
+
+
+def _append_bench_record(name: str, figures: dict) -> None:
+    """Append one normalized record to ``BENCH_{name}.json``.
+
+    The file holds a JSON list of ``{"run": n, "figures": {...}}``
+    records in append order.  Only deterministic simulated-time metrics
+    belong here: two runs of the same code must produce byte-identical
+    figures, so any drift between records is a real code change.
+    """
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    records = []
+    if path.exists():
+        try:
+            records = json.loads(path.read_text())
+        except (ValueError, OSError):
+            records = []
+        if not isinstance(records, list):
+            records = []
+    records.append({
+        "run": len(records),
+        "figures": {key: round(float(value), 6)
+                    for key, value in sorted(figures.items())},
+    })
+    path.write_text(json.dumps(records, indent=2, sort_keys=True)
+                    + "\n")
 
 
 def once(benchmark, function):

@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Compare the last two bench records and fail on a >10% regression.
+
+``benchmarks/_common.emit(..., figures={...})`` appends one record per
+bench run to ``BENCH_<name>.json`` at the repo root.  Every figure is a
+*simulated-time* metric, so records are deterministic: the same code
+produces identical figures, and any drift between consecutive records
+is a real behavioral change.  This checker compares the newest record
+against the one before it, per shared metric, and exits non-zero when
+any metric worsened by more than the threshold.
+
+Direction heuristic: metric names containing ``ratio``, ``throughput``,
+``rate`` or ``hits`` are higher-is-better; everything else (seconds,
+latencies, counts of work) is lower-is-better.
+
+Usage::
+
+    python benchmarks/check_regression.py [--threshold 0.10] [FILES...]
+
+With no FILES, every ``BENCH_*.json`` at the repo root is checked.
+Files with fewer than two records are skipped (nothing to compare).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+HIGHER_IS_BETTER = ("ratio", "throughput", "rate", "hits")
+
+
+def metric_direction(name: str) -> str:
+    """'higher' or 'lower' (the better direction) for a metric name."""
+    lowered = name.lower()
+    if any(token in lowered for token in HIGHER_IS_BETTER):
+        return "higher"
+    return "lower"
+
+
+def compare_records(previous: dict, latest: dict,
+                    threshold: float) -> list:
+    """Regressions between two ``figures`` dicts, as report strings."""
+    regressions = []
+    for name in sorted(set(previous) & set(latest)):
+        before = float(previous[name])
+        after = float(latest[name])
+        if before == after:
+            continue
+        direction = metric_direction(name)
+        if before == 0.0:
+            # No baseline magnitude to scale by; a metric appearing
+            # from zero is growth, not regression, unless lower is
+            # better and it became positive.
+            if direction == "lower" and after > 0.0:
+                regressions.append(
+                    f"{name}: {before:g} -> {after:g} "
+                    f"(was zero, now positive; lower is better)")
+            continue
+        change = (after - before) / abs(before)
+        worsened = change > threshold if direction == "lower" \
+            else change < -threshold
+        if worsened:
+            regressions.append(
+                f"{name}: {before:g} -> {after:g} "
+                f"({change:+.1%}; {direction} is better)")
+    return regressions
+
+
+def check_file(path: pathlib.Path, threshold: float) -> list:
+    """Regression report lines for one BENCH_*.json file."""
+    try:
+        records = json.loads(path.read_text())
+    except (ValueError, OSError) as error:
+        return [f"{path.name}: unreadable ({error})"]
+    if not isinstance(records, list) or len(records) < 2:
+        print(f"{path.name}: {len(records) if isinstance(records, list) else 0} "
+              f"record(s), nothing to compare")
+        return []
+    previous = records[-2].get("figures", {})
+    latest = records[-1].get("figures", {})
+    regressions = compare_records(previous, latest, threshold)
+    if regressions:
+        return [f"{path.name}: {line}" for line in regressions]
+    shared = len(set(previous) & set(latest))
+    print(f"{path.name}: {shared} metric(s) within "
+          f"{threshold:.0%} of the previous record")
+    return []
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail on >threshold bench regressions")
+    parser.add_argument("files", nargs="*", type=pathlib.Path,
+                        help="BENCH_*.json files (default: repo root)")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative worsening that fails (default 0.10)")
+    args = parser.parse_args(argv)
+
+    files = args.files or sorted(REPO_ROOT.glob("BENCH_*.json"))
+    if not files:
+        print("no BENCH_*.json records found; nothing to check")
+        return 0
+
+    failures = []
+    for path in files:
+        failures.extend(check_file(path, args.threshold))
+    if failures:
+        print("\nREGRESSIONS DETECTED:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -89,22 +89,33 @@ def deployment_scenario(image_factory, node_count: int = 1,
                         select_policy: str = "round-robin",
                         loss_probability: float = 0.0,
                         wave_size: int | None = None,
-                        policy=None, wait: bool = True):
+                        policy=None, wait: bool = True,
+                        telemetry_factory=None):
     """A canned scenario callable for :func:`check_replay`.
 
     ``image_factory`` is a zero-argument callable returning a fresh
     :class:`~repro.guest.osimage.OsImage` — each run needs its own
     (images carry mutable content maps).  ``wave_size`` switches from
-    a flat ``deploy_all`` to the wave scheduler.
+    a flat ``deploy_all`` to the wave scheduler.  ``telemetry_factory``
+    (a callable ``env -> telemetry``) arms telemetry for each run —
+    comparing digests of a plain scenario against one with forensics
+    enabled is how the observability layer proves it does not perturb
+    the timeline.
     """
     from repro.cloud import Cluster, WaveScheduler, build_testbed
+    from repro.obs.telemetry import NULL_TELEMETRY
+    from repro.sim import Environment
 
     def scenario(recorder: ReplayRecorder) -> None:
+        env = Environment()
+        telemetry = NULL_TELEMETRY if telemetry_factory is None \
+            else telemetry_factory(env)
         testbed = build_testbed(node_count=node_count,
                                 server_count=server_count, p2p=p2p,
                                 select_policy=select_policy,
                                 loss_probability=loss_probability,
-                                image=image_factory())
+                                image=image_factory(),
+                                env=env, telemetry=telemetry)
         recorder.attach(testbed.env)
         cluster = Cluster(testbed)
 

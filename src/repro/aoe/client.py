@@ -179,43 +179,9 @@ class AoeInitiator:
             f"aoe-{command.op}", lba=command.lba,
             sectors=command.sector_count, target=transaction.target)
         try:
-            if self.observers:
-                self._emit("send", tag=command.tag, op=command.op,
-                           lba=command.lba,
-                           sector_count=command.sector_count,
-                           target=transaction.target, retransmit=False)
-            yield from self._send_command(transaction)
-            while not transaction.done.triggered:
-                timer = self.env.timeout(self.rto, value="timeout")
-                outcome = yield self.env.any_of([transaction.done, timer])
-                if transaction.done in outcome:
-                    break
-                # Fragments still trickling in: the reply is in flight,
-                # extend rather than retransmit.
-                if (self.env.now - transaction.last_activity) < self.rto:
-                    continue
-                transaction.retries += 1
-                if transaction.retries > self.MAX_RETRIES:
-                    self._m_timeouts.inc()
-                    if self.observers:
-                        self._emit("timeout", tag=command.tag,
-                                   target=transaction.target)
-                    raise AoeTimeoutError(
-                        f"AoE tag {command.tag} gave up after "
-                        f"{self.MAX_RETRIES} retries")
-                self.retransmissions += 1
-                self._m_retransmissions.inc()
-                # Back off the estimator on loss (Karn-style doubling).
-                self.rtt.back_off()
-                transaction.sent_at = self.env.now
-                if self.observers:
-                    self._emit("send", tag=command.tag, op=command.op,
-                               lba=command.lba,
-                               sector_count=command.sector_count,
-                               target=transaction.target,
-                               retransmit=True,
-                               retries=transaction.retries)
-                yield from self._send_command(transaction)
+            with self.telemetry.profiler.track("aoe-client",
+                                               f"aoe-{command.op}"):
+                yield from self._transact_inner(transaction)
         finally:
             self._pending.pop(command.tag, None)
             self.telemetry.tracer.end(span, retries=transaction.retries)
@@ -233,6 +199,46 @@ class AoeInitiator:
                        retries=transaction.retries)
         self._m_rtt[command.op].observe(self.env.now - started)
         return transaction
+
+    def _transact_inner(self, transaction: _Transaction):
+        command = transaction.command
+        if self.observers:
+            self._emit("send", tag=command.tag, op=command.op,
+                       lba=command.lba,
+                       sector_count=command.sector_count,
+                       target=transaction.target, retransmit=False)
+        yield from self._send_command(transaction)
+        while not transaction.done.triggered:
+            timer = self.env.timeout(self.rto, value="timeout")
+            outcome = yield self.env.any_of([transaction.done, timer])
+            if transaction.done in outcome:
+                break
+            # Fragments still trickling in: the reply is in flight,
+            # extend rather than retransmit.
+            if (self.env.now - transaction.last_activity) < self.rto:
+                continue
+            transaction.retries += 1
+            if transaction.retries > self.MAX_RETRIES:
+                self._m_timeouts.inc()
+                if self.observers:
+                    self._emit("timeout", tag=command.tag,
+                               target=transaction.target)
+                raise AoeTimeoutError(
+                    f"AoE tag {command.tag} gave up after "
+                    f"{self.MAX_RETRIES} retries")
+            self.retransmissions += 1
+            self._m_retransmissions.inc()
+            # Back off the estimator on loss (Karn-style doubling).
+            self.rtt.back_off()
+            transaction.sent_at = self.env.now
+            if self.observers:
+                self._emit("send", tag=command.tag, op=command.op,
+                           lba=command.lba,
+                           sector_count=command.sector_count,
+                           target=transaction.target,
+                           retransmit=True,
+                           retries=transaction.retries)
+            yield from self._send_command(transaction)
 
     def _send_command(self, transaction: _Transaction):
         command = transaction.command

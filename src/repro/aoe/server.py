@@ -97,6 +97,9 @@ class AoeServer:
     #: Frame protocol tag (the peer chunk responder overrides this so
     #: the switch can attribute origin vs peer traffic).
     PROTOCOL = "aoe"
+    #: Profiler attribution for served commands (the peer chunk service
+    #: overrides this so p2p serving shows up as its own component).
+    COMPONENT = "aoe-server"
 
     def __init__(self, env: Environment, nic: Nic, store: ImageStore,
                  workers: int = 8, mtu: int | None = None,
@@ -107,6 +110,7 @@ class AoeServer:
         self.nic = nic
         self.store = store
         self.mtu = mtu if mtu is not None else nic.switch.mtu
+        self.telemetry = telemetry
         self.workers = Resource(env, capacity=workers)
         self.worker_count = workers
         self._inbox: Store = Store(env)
@@ -164,7 +168,9 @@ class AoeServer:
 
     def _serve(self, command: AoeCommand, reply_to: str):
         arrived = self.env.now
-        with self.workers.request() as grant:
+        with self.workers.request() as grant, \
+                self.telemetry.profiler.track(self.COMPONENT,
+                                              f"serve-{command.op}"):
             yield grant
             self._m_queue_wait.observe(self.env.now - arrived)
             started = self.env.now

@@ -9,6 +9,10 @@ Commands:
   and print the per-wave table (replicas, p2p, selection policy).
 * ``sweep``     — the moderation write-interval sweep (Figure 14 shape).
 * ``metrics``   — deploy once with telemetry on and print the summary.
+* ``trace``     — deploy with forensics on and write a Chrome-trace
+  JSON (open in ``chrome://tracing`` / Perfetto).
+* ``profile``   — deploy with forensics on and print the sim-time
+  profile and critical-path latency budget.
 * ``lint``      — run simlint (repro.analysis) over the source tree.
 * ``info``      — the calibrated testbed constants.
 
@@ -20,6 +24,9 @@ event-stream digests.
 ``deploy`` and ``compare`` accept ``--metrics-out FILE`` to record the
 run with the :mod:`repro.obs` telemetry subsystem and export it — JSON
 by default, Prometheus text exposition when FILE ends in ``.prom``.
+``deploy``, ``scaleout`` and ``compare`` accept ``--trace-out FILE``
+to additionally arm the forensics layer (causal tracer + profiler +
+provenance) and write the run as Chrome-trace JSON.
 """
 
 from __future__ import annotations
@@ -62,6 +69,9 @@ def _build_parser() -> argparse.ArgumentParser:
     deploy.add_argument("--metrics-out", metavar="FILE",
                         help="export telemetry (JSON, or Prometheus "
                         "text if FILE ends in .prom)")
+    deploy.add_argument("--trace-out", metavar="FILE",
+                        help="arm the forensics layer and write the "
+                        "run as Chrome-trace JSON")
     deploy.add_argument("--replicas", type=int, default=1,
                         help="origin AoE replica count (default 1)")
     deploy.add_argument("--p2p", action="store_true",
@@ -98,11 +108,17 @@ def _build_parser() -> argparse.ArgumentParser:
     scaleout.add_argument("--sanitize", action="store_true",
                           help="attach the runtime sanitizers to every "
                           "deployment; exit 1 on any violation")
+    scaleout.add_argument("--trace-out", metavar="FILE",
+                          help="arm the forensics layer and write the "
+                          "run as Chrome-trace JSON")
 
     compare = sub.add_parser("compare", help="compare every method")
     compare.add_argument("--image-gb", type=float, default=4.0)
     compare.add_argument("--metrics-out", metavar="FILE",
                          help="export telemetry for all runs combined")
+    compare.add_argument("--trace-out", metavar="FILE",
+                         help="arm the forensics layer and write all "
+                         "runs into one Chrome-trace JSON")
 
     sweep = sub.add_parser("sweep", help="moderation interval sweep")
     sweep.add_argument("--image-gb", type=float, default=2.0)
@@ -118,6 +134,35 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="wait for deployment to finish (BMcast)")
     metrics.add_argument("--metrics-out", metavar="FILE",
                          help="also export the telemetry to FILE")
+
+    trace = sub.add_parser(
+        "trace", help="deploy with forensics on; write a Chrome trace")
+    trace.add_argument("--method", choices=METHODS, default="bmcast")
+    trace.add_argument("--image-gb", type=float, default=1.0)
+    trace.add_argument("--controller",
+                       choices=("ahci", "ide", "megaraid"),
+                       default="ahci")
+    trace.add_argument("--wait", action="store_true", default=True,
+                       help="wait for deployment to finish (default)")
+    trace.add_argument("--out", metavar="FILE", default="trace.json",
+                       help="Chrome-trace output path "
+                       "(default trace.json)")
+    trace.add_argument("--folded-out", metavar="FILE",
+                       help="also write flamegraph folded stacks")
+
+    profile = sub.add_parser(
+        "profile", help="deploy with forensics on; print the sim-time "
+        "profile and critical-path latency budget")
+    profile.add_argument("--method", choices=METHODS, default="bmcast")
+    profile.add_argument("--image-gb", type=float, default=1.0)
+    profile.add_argument("--controller",
+                         choices=("ahci", "ide", "megaraid"),
+                         default="ahci")
+    profile.add_argument("--anchor", default=None,
+                         help="critical-path anchor mark (default: "
+                         "devirtualize, then deploy-complete)")
+    profile.add_argument("--out", metavar="FILE",
+                         help="also write the profile report as JSON")
 
     lint = sub.add_parser(
         "lint", help="run simlint over the source tree")
@@ -142,13 +187,25 @@ def _segments(timeline) -> str:
 
 
 def _make_telemetry(args):
-    """(env, telemetry): a Telemetry when --metrics-out was given,
-    otherwise the zero-cost null object — the timeline is identical
-    either way."""
+    """(env, telemetry): a Telemetry when --metrics-out or --trace-out
+    was given (the latter arms the forensics layer too), otherwise the
+    zero-cost null object — the timeline is identical either way."""
     env = Environment()
+    if getattr(args, "trace_out", None):
+        return env, Telemetry(env, forensics=True)
     if getattr(args, "metrics_out", None):
         return env, Telemetry(env)
     return env, NULL_TELEMETRY
+
+
+def _write_trace(telemetry, path, pid: int = 1,
+                 process_name: str = "repro") -> None:
+    from repro.obs import write_chrome_trace
+    document = write_chrome_trace(telemetry, path, pid=pid,
+                                  process_name=process_name)
+    print(f"chrome trace written to {path} "
+          f"({len(document['traceEvents'])} events; open in "
+          f"chrome://tracing or https://ui.perfetto.dev)")
 
 
 def cmd_deploy(args, print_summary: bool = False) -> int:
@@ -200,6 +257,9 @@ def cmd_deploy(args, print_summary: bool = False) -> int:
     if getattr(args, "metrics_out", None):
         telemetry.write(args.metrics_out)
         print(f"telemetry written to {args.metrics_out}")
+    if getattr(args, "trace_out", None):
+        _write_trace(telemetry, args.trace_out,
+                     process_name=f"deploy:{args.method}")
     status = 0
     if suite is not None:
         suite.finalize()
@@ -227,12 +287,13 @@ def _replay_check(args) -> int:
 
 def cmd_scaleout(args) -> int:
     from repro.cloud import Cluster, WaveScheduler
+    env, telemetry = _make_telemetry(args)
     testbed = build_testbed(node_count=args.nodes,
                             server_count=args.replicas,
                             p2p=args.p2p,
                             select_policy=args.select_policy,
-                            image=_image(args.image_gb))
-    env = testbed.env
+                            image=_image(args.image_gb),
+                            env=env, telemetry=telemetry)
     cluster = Cluster(testbed)
     scheduler = WaveScheduler(cluster, wave_size=args.wave_size,
                               seed_fill_fraction=args.seed_fill)
@@ -265,6 +326,8 @@ def cmd_scaleout(args) -> int:
         f"policy {args.select_policy}"))
     print(f"fleet ready in {scheduler.summary()['total_seconds']:.1f}s; "
           f"peers registered: {fabric['peers_registered']}")
+    if getattr(args, "trace_out", None):
+        _write_trace(telemetry, args.trace_out, process_name="scaleout")
     if suite is not None:
         suite.finalize()
         print(suite.describe())
@@ -305,7 +368,27 @@ def cmd_compare(args) -> int:
     if getattr(args, "metrics_out", None) and exports:
         _write_compare_metrics(args.metrics_out, exports)
         print(f"telemetry written to {args.metrics_out}")
+    if getattr(args, "trace_out", None) and exports:
+        _write_compare_trace(args.trace_out, exports)
     return 0
+
+
+def _write_compare_trace(path: str, exports) -> None:
+    """All compare runs in one Chrome trace, one pid per method."""
+    import json
+
+    from repro.obs import chrome_trace_document
+    merged = {"traceEvents": [], "displayTimeUnit": "ms"}
+    for index, (method, telemetry) in enumerate(exports):
+        document = chrome_trace_document(telemetry, pid=index + 1,
+                                         process_name=method)
+        merged["traceEvents"].extend(document["traceEvents"])
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(merged, handle, separators=(",", ":"))
+        handle.write("\n")
+    print(f"chrome trace written to {path} "
+          f"({len(merged['traceEvents'])} events; open in "
+          f"chrome://tracing or https://ui.perfetto.dev)")
 
 
 def _write_compare_metrics(path: str, exports) -> None:
@@ -343,6 +426,61 @@ def cmd_metrics(args) -> int:
     if args.metrics_out:
         telemetry.write(args.metrics_out)
         print(f"telemetry written to {args.metrics_out}")
+    return 0
+
+
+def _forensic_deploy(args, wait: bool = True):
+    """Deploy one instance with the forensics layer armed.
+
+    Returns ``(env, telemetry)`` after the deployment (and, for
+    methods with a background copier, the copy plus a settle window)
+    has run to completion.
+    """
+    env = Environment()
+    telemetry = Telemetry(env, forensics=True)
+    testbed = build_testbed(disk_controller=args.controller,
+                            image=_image(args.image_gb),
+                            env=env, telemetry=telemetry)
+    provisioner = Provisioner(testbed)
+    instance = env.run(until=env.process(provisioner.deploy(
+        args.method, skip_firmware=True)))
+    platform = instance.platform
+    if wait and platform is not None and hasattr(platform, "copier"):
+        env.run(until=platform.copier.done)
+        env.run(until=env.now + 10.0)
+    print(f"{args.method}: instance ready after "
+          f"{instance.timeline.total:.1f}s; run ended at "
+          f"t={env.now:.1f}s")
+    return env, telemetry
+
+
+def cmd_trace(args) -> int:
+    env, telemetry = _forensic_deploy(args, wait=args.wait)
+    _write_trace(telemetry, args.out,
+                 process_name=f"deploy:{args.method}")
+    if args.folded_out:
+        from repro.obs import folded_stacks
+        text = folded_stacks(telemetry)
+        with open(args.folded_out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        stacks = len(text.splitlines())
+        print(f"folded stacks written to {args.folded_out} "
+              f"({stacks} stacks)")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    env, telemetry = _forensic_deploy(args, wait=True)
+    from repro.obs import format_profile, profile_report
+    report = profile_report(telemetry, anchor=args.anchor)
+    print()
+    print(format_profile(report))
+    if args.out:
+        import json
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"profile report written to {args.out}")
     return 0
 
 
@@ -411,6 +549,8 @@ def main(argv=None) -> int:
         "compare": cmd_compare,
         "sweep": cmd_sweep,
         "metrics": cmd_metrics,
+        "trace": cmd_trace,
+        "profile": cmd_profile,
         "lint": cmd_lint,
         "info": cmd_info,
     }[args.command]

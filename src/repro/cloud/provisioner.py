@@ -109,17 +109,20 @@ class Provisioner:
             # Before boot: attaching late misses early guest writes and
             # the sanitizers would report phantom inconsistencies.
             sanitizers.attach_deployment(vmm, image=image)
+        self.telemetry.provenance.attach(vmm, node=node.machine.name)
         start = self.env.now
         boot_span = spans.start("vmm-netboot")
-        yield from node.machine.firmware.network_boot()
-        yield from vmm.boot()
+        with self.telemetry.profiler.track("vmm", "netboot"):
+            yield from node.machine.firmware.network_boot()
+            yield from vmm.boot()
         spans.end(boot_span)
         timeline.platform_ready = self.env.now
         timeline.add_segment("VMM boot", self.env.now - start)
         guest = GuestOs(node.machine, image)
         timeline.os_boot_started = self.env.now
         os_span = spans.start("guest-os-boot")
-        yield from guest.boot()
+        with self.telemetry.profiler.track("guest", "os-boot"):
+            yield from guest.boot()
         spans.end(os_span)
         timeline.add_segment("OS boot", self.env.now
                              - timeline.os_boot_started)

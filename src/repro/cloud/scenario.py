@@ -148,7 +148,7 @@ def build_testbed(node_count: int = 1,
         spec = MachineSpec(disk_controller=disk_controller,
                            has_preemption_timer=has_preemption_timer)
         machine = Machine(env, spec, name=name)
-        disk = Disk(env)
+        disk = Disk(env, telemetry=telemetry)
         if disk_controller == "ide":
             controller = IdeController(env, disk, machine)
         elif disk_controller == "ahci":

@@ -122,6 +122,7 @@ class PeerChunkService(AoeServer):
     """
 
     PROTOCOL = "aoe-peer"
+    COMPONENT = "peer-fabric"
 
     #: Publish a summary update every this many newly filled blocks.
     ANNOUNCE_BLOCKS = 8

@@ -109,9 +109,11 @@ class FetchRouter:
         started = self.env.now
         self.selector.note_sent(peer)
         try:
-            runs = yield from self.initiator.read_blocks(
-                lba, sector_count, bulk=bulk, target=peer,
-                protocol=PEER_PROTOCOL)
+            with self.telemetry.profiler.track("peer-fabric",
+                                               "peer-fetch"):
+                runs = yield from self.initiator.read_blocks(
+                    lba, sector_count, bulk=bulk, target=peer,
+                    protocol=PEER_PROTOCOL)
         except (AoeNakError, AoeTimeoutError):
             # The peer cannot (or can no longer) serve the range; fix
             # the directory so the next request skips it, and fall back.
@@ -126,6 +128,9 @@ class FetchRouter:
         self.peer_hits += 1
         self._m_peer_hits.inc()
         self._m_hit_ratio.set(self.peer_hit_ratio)
+        self.telemetry.provenance.note_fetch(
+            self.node_port, lba, sector_count, peer, "peer", started,
+            block_sectors=self.fabric.block_sectors)
         return runs
 
     def _fetch_from_origin(self, lba: int, sector_count: int,
@@ -134,8 +139,10 @@ class FetchRouter:
         started = self.env.now
         self.selector.note_sent(target)
         try:
-            runs = yield from self.initiator.read_blocks(
-                lba, sector_count, bulk=bulk, target=target)
+            with self.telemetry.profiler.track("origin",
+                                               "origin-fetch"):
+                runs = yield from self.initiator.read_blocks(
+                    lba, sector_count, bulk=bulk, target=target)
         except AoeTimeoutError:
             self.selector.note_complete(target, self.env.now - started,
                                         ok=False)
@@ -143,4 +150,7 @@ class FetchRouter:
         self.selector.note_complete(target, self.env.now - started)
         self.origin_fetches += 1
         self._m_hit_ratio.set(self.peer_hit_ratio)
+        self.telemetry.provenance.note_fetch(
+            self.node_port, lba, sector_count, target, "origin", started,
+            block_sectors=self.fabric.block_sectors)
         return runs

@@ -26,6 +26,7 @@ class Nic:
         self.name = name
         self.model = model
         self.rx_ring: Store = Store(env, capacity=rx_ring_size)
+        self.telemetry = telemetry
         switch.attach(name, self)
         # Metrics.
         self.tx_frames = 0
@@ -54,7 +55,8 @@ class Nic:
              protocol: str = "aoe"):
         """Generator: transmit one frame; returns True if delivered."""
         frame = Frame(self.name, dst, payload, payload_bytes, protocol)
-        delivered = yield from self.switch.transmit(frame)
+        with self.telemetry.profiler.track("nic", "tx"):
+            delivered = yield from self.switch.transmit(frame)
         self.tx_frames += 1
         self.tx_bytes += frame.wire_bytes
         self._m_tx_bytes.inc(frame.wire_bytes)

@@ -13,11 +13,23 @@ Everything defaults to :data:`NULL_TELEMETRY` (zero-cost no-ops), so
 simulations that don't ask for telemetry are unchanged.
 """
 
+from repro.obs.causal import (
+    NULL_CAUSAL,
+    CausalTracer,
+    NullCausalTracer,
+    classify_actor,
+)
 from repro.obs.export import (
     telemetry_summary,
     telemetry_to_dict,
     telemetry_to_prometheus,
     write_json,
+)
+from repro.obs.profile import NULL_PROFILER, NullSimProfiler, SimProfiler
+from repro.obs.provenance import (
+    NULL_PROVENANCE,
+    BlockProvenance,
+    NullBlockProvenance,
 )
 from repro.obs.registry import (
     NULL_REGISTRY,
@@ -36,11 +48,23 @@ from repro.obs.spans import (
     SpanTracer,
 )
 from repro.obs.telemetry import NULL_TELEMETRY, NullTelemetry, Telemetry
+from repro.obs.trace_export import (
+    chrome_trace_document,
+    folded_stacks,
+    format_profile,
+    profile_report,
+    write_chrome_trace,
+)
 
 __all__ = [
-    "AMBIENT", "Counter", "Gauge", "Histogram", "MetricsRegistry",
-    "NullRegistry", "NullSpanTracer", "NullTelemetry", "NULL_REGISTRY",
-    "NULL_TELEMETRY", "NULL_TRACER", "Series", "Span", "SpanTracer",
-    "Telemetry", "telemetry_summary", "telemetry_to_dict",
-    "telemetry_to_prometheus", "write_json",
+    "AMBIENT", "BlockProvenance", "CausalTracer", "Counter", "Gauge",
+    "Histogram", "MetricsRegistry", "NullBlockProvenance",
+    "NullCausalTracer", "NullRegistry", "NullSimProfiler",
+    "NullSpanTracer", "NullTelemetry", "NULL_CAUSAL", "NULL_PROFILER",
+    "NULL_PROVENANCE", "NULL_REGISTRY", "NULL_TELEMETRY", "NULL_TRACER",
+    "Series", "SimProfiler", "Span", "SpanTracer", "Telemetry",
+    "chrome_trace_document", "classify_actor", "folded_stacks",
+    "format_profile", "profile_report", "telemetry_summary",
+    "telemetry_to_dict", "telemetry_to_prometheus", "write_chrome_trace",
+    "write_json",
 ]

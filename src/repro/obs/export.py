@@ -84,8 +84,15 @@ def _label_string(labels, extra: dict | None = None) -> str:
 
 
 def _escape(value: str) -> str:
+    # Label values: backslash first, then quote and newline — the
+    # exposition-format escaping rules.
     return value.replace("\\", r"\\").replace('"', r'\"') \
                 .replace("\n", r"\n")
+
+
+def _escape_help(value: str) -> str:
+    # HELP text escapes backslash and newline only (quotes are legal).
+    return value.replace("\\", r"\\").replace("\n", r"\n")
 
 
 def telemetry_to_prometheus(telemetry) -> str:
@@ -99,7 +106,7 @@ def telemetry_to_prometheus(telemetry) -> str:
             return
         seen_types.add(name)
         if help:
-            lines.append(f"# HELP {name} {help}")
+            lines.append(f"# HELP {name} {_escape_help(help)}")
         lines.append(f"# TYPE {name} {kind}")
 
     for counter in registry.collect("counter"):

@@ -1,0 +1,158 @@
+"""Sim-time profiler: attribute simulated time to components.
+
+Components bracket their interesting work with::
+
+    with telemetry.profiler.track("disk", "execute"):
+        ...  # yield-free bookkeeping, or code that spawns processes
+
+``track`` is an enter/exit hook pair on the *simulated* clock: the
+frame's span is however much simulated time elapsed between enter and
+exit.  Frames nest per simulation process (each generator gets its own
+stack, keyed on the active process), producing flamegraph-style stacks:
+self-time is the frame's span minus its children's spans.
+
+Everything is observational — the profiler reads ``env.now`` and the
+active process, never schedules — so timelines are unchanged when
+profiling is on.  Exporters (folded stacks, Chrome trace) live in
+:mod:`repro.obs.trace_export`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+
+class _Frame:
+    """One live ``track`` interval on some process's stack."""
+
+    __slots__ = ("component", "name", "start", "child_time", "depth")
+
+    def __init__(self, component, name, start, depth):
+        self.component = component
+        self.name = name
+        self.start = start
+        self.child_time = 0.0
+        self.depth = depth
+
+
+class SimProfiler:
+    """Per-component simulated-time attribution for one environment."""
+
+    enabled = True
+
+    def __init__(self, env, capacity: int = 200_000):
+        self.env = env
+        self.capacity = capacity
+        self.dropped = 0
+        #: Completed frames as ``(process, component, name, start, end,
+        #: depth, self_time)`` — the raw material for the exporters.
+        self.frames: list[tuple] = []
+        #: ``component -> total self seconds`` across all frames.
+        self.component_self: dict[str, float] = {}
+        #: ``"comp:name;comp:name" -> self seconds`` folded stacks.
+        self.folded: dict[str, float] = {}
+        # Live stacks keyed on the owning process (top-level code uses
+        # the None key).  Enter and exit both run while that process is
+        # active, so stacks never interleave across processes.
+        self._stacks: dict[object, list[_Frame]] = {}
+
+    # -- hot path ---------------------------------------------------------
+
+    def _stack(self) -> list:
+        process = self.env.active_process
+        key = None if process is None else id(process)
+        stack = self._stacks.get(key)
+        if stack is None:
+            stack = self._stacks[key] = []
+        return stack
+
+    @contextmanager
+    def track(self, component: str, name: str | None = None):
+        """Attribute the simulated time spent inside to ``component``."""
+        stack = self._stack()
+        frame = _Frame(component, name or component, self.env.now,
+                       len(stack))
+        stack.append(frame)
+        try:
+            yield frame
+        finally:
+            # Normally ``frame`` is on top; a generator torn down out of
+            # band (GeneratorExit) may close frames out of order.
+            if stack and stack[-1] is frame:
+                stack.pop()
+            elif frame in stack:
+                stack.remove(frame)
+            self._finish(stack, frame)
+
+    def _finish(self, stack: list, frame: _Frame) -> None:
+        end = self.env.now
+        span = end - frame.start
+        self_time = max(0.0, span - frame.child_time)
+        if stack:
+            stack[-1].child_time += span
+        self.component_self[frame.component] = \
+            self.component_self.get(frame.component, 0.0) + self_time
+        if self_time > 0.0:
+            key = frame.component + ":" + frame.name
+            if stack:
+                key = ";".join(parent.component + ":" + parent.name
+                               for parent in stack) + ";" + key
+            self.folded[key] = self.folded.get(key, 0.0) + self_time
+        if len(self.frames) >= self.capacity:
+            self.dropped += 1
+            return
+        self.frames.append((self._process_label(), frame.component,
+                            frame.name, frame.start, end, frame.depth,
+                            self_time))
+
+    def _process_label(self) -> str:
+        process = self.env.active_process
+        return process.name if process is not None else "kernel"
+
+    def current_component(self) -> str | None:
+        """Component of the innermost live frame, if any (consumed by
+        the causal tracer to attribute scheduled events)."""
+        stack = self._stacks.get(
+            None if self.env.active_process is None
+            else id(self.env.active_process))
+        if stack:
+            return stack[-1].component
+        return None
+
+    # -- reporting --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "frames": len(self.frames),
+            "dropped": self.dropped,
+            "components": {component: seconds for component, seconds
+                           in sorted(self.component_self.items())},
+        }
+
+
+class NullSimProfiler:
+    """Disabled profiler; shared, stateless, and allocation-free."""
+
+    enabled = False
+    env = None
+    dropped = 0
+    frames: list = []
+    component_self: dict = {}
+    folded: dict = {}
+
+    @contextmanager
+    def _null_track(self):
+        yield None
+
+    def track(self, component: str, name: str | None = None):
+        return self._null_track()
+
+    def current_component(self):
+        return None
+
+    def to_dict(self) -> dict:
+        return {"frames": 0, "dropped": 0, "components": {}}
+
+
+#: Shared disabled instance.
+NULL_PROFILER = NullSimProfiler()

@@ -1,0 +1,165 @@
+"""Per-block provenance timelines.
+
+For a sampled set of copy blocks, record the full claim → fetch → fill
+→ commit lifecycle and *which source* served the data: an origin
+replica, a peer chunk service, or the guest's own write.  This is the
+forensic view of the PR 2 distribution fabric — it shows the replica
+selector and the p2p directory actually doing their jobs.
+
+The recorder subscribes to hooks the data path already exposes
+(:attr:`BlockBitmap.transition_listeners` and the fetch router's
+success paths); it never schedules, so timelines are unchanged.
+"""
+
+from __future__ import annotations
+
+
+class BlockProvenance:
+    """Sampled block-lifecycle recorder for one environment.
+
+    ``stride`` picks the sample: block indices divisible by it are
+    tracked (stride 1 tracks everything).  One recorder can watch many
+    nodes — :meth:`attach` is called once per deployed VMM and labels
+    its events with that node's name.
+    """
+
+    enabled = True
+
+    def __init__(self, env, stride: int = 16, capacity: int = 100_000):
+        self.env = env
+        self.stride = max(1, int(stride))
+        self.capacity = capacity
+        self.dropped = 0
+        #: ``(node, block) -> [(seconds, event, detail), ...]``
+        self.timelines: dict[tuple[str, int], list[tuple]] = {}
+        self._node_count = 0
+
+    # -- wiring -----------------------------------------------------------
+
+    def attach(self, vmm, node: str | None = None) -> str:
+        """Subscribe to ``vmm``'s bitmap transitions under label ``node``.
+
+        Duck-typed: needs only ``vmm.bitmap.transition_listeners``.
+        Returns the label used.
+        """
+        label = node or "node" + str(self._node_count)
+        self._node_count += 1
+        bitmap = getattr(vmm, "bitmap", None)
+        if bitmap is not None:
+            bitmap.transition_listeners.append(
+                self._bitmap_listener(label))
+        return label
+
+    def _bitmap_listener(self, node: str):
+        def on_transition(event, block, **details):
+            if event == "claim" and not details.get("granted", True):
+                return
+            name = "guest-fill" if event == "guest-fill" else event
+            self.record(node, block, name, details.get("state"))
+        return on_transition
+
+    # -- recording --------------------------------------------------------
+
+    def sampled(self, block: int) -> bool:
+        return block % self.stride == 0
+
+    def record(self, node: str, block: int, event: str,
+               detail=None) -> None:
+        if not self.sampled(block):
+            return
+        key = (node, block)
+        timeline = self.timelines.get(key)
+        if timeline is None:
+            if len(self.timelines) >= self.capacity:
+                self.dropped += 1
+                return
+            timeline = self.timelines[key] = []
+        timeline.append((self.env.now, event, detail))
+
+    def note_fetch(self, node: str, lba: int, sector_count: int,
+                   source: str, kind: str, started: float,
+                   block_sectors: int = 2048) -> None:
+        """A fetch for ``[lba, lba+n)`` completed from ``source``.
+
+        ``kind`` is ``"origin"``, ``"peer"`` etc.; ``source`` names the
+        serving endpoint (replica tag / peer node).  The range is
+        folded onto the blocks it overlaps.
+        """
+        first = lba // block_sectors
+        last = (lba + max(1, sector_count) - 1) // block_sectors
+        for block in range(first, last + 1):
+            self.record(node, block, "fetch",
+                        {"source": source, "kind": kind,
+                         "seconds": self.env.now - started})
+
+    # -- reporting --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.timelines)
+
+    def sources(self) -> dict:
+        """``kind -> fetch count`` across all sampled blocks."""
+        counts: dict[str, int] = {}
+        for timeline in self.timelines.values():
+            for _, event, detail in timeline:
+                if event == "fetch" and isinstance(detail, dict):
+                    kind = detail.get("kind", "?")
+                    counts[kind] = counts.get(kind, 0) + 1
+        return counts
+
+    def to_dict(self) -> dict:
+        blocks = []
+        for (node, block) in sorted(self.timelines):
+            timeline = self.timelines[(node, block)]
+            blocks.append({
+                "node": node,
+                "block": block,
+                "events": [
+                    {"seconds": at, "event": event, "detail": detail}
+                    for at, event, detail in timeline
+                ],
+            })
+        return {
+            "stride": self.stride,
+            "sampled_blocks": len(self.timelines),
+            "dropped": self.dropped,
+            "sources": self.sources(),
+            "blocks": blocks,
+        }
+
+
+class NullBlockProvenance:
+    """Disabled provenance recorder; shared and stateless."""
+
+    enabled = False
+    env = None
+    stride = 0
+    dropped = 0
+    timelines: dict = {}
+
+    def attach(self, vmm, node=None) -> str:
+        return node or "node"
+
+    def sampled(self, block: int) -> bool:
+        return False
+
+    def record(self, node, block, event, detail=None) -> None:
+        pass
+
+    def note_fetch(self, node, lba, sector_count, source, kind,
+                   started, block_sectors: int = 2048) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+    def sources(self) -> dict:
+        return {}
+
+    def to_dict(self) -> dict:
+        return {"stride": 0, "sampled_blocks": 0, "dropped": 0,
+                "sources": {}, "blocks": []}
+
+
+#: Shared disabled instance.
+NULL_PROVENANCE = NullBlockProvenance()

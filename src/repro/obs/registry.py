@@ -135,15 +135,20 @@ class Histogram:
     @property
     def mean(self) -> float:
         if self.count == 0:
-            raise ValueError(f"no observations in histogram {self.name!r}")
+            return 0.0
         return self.sum / self.count
 
     def percentile(self, q: float) -> float:
-        """Approximate the ``q``-quantile (``q`` in [0, 1])."""
+        """Approximate the ``q``-quantile (``q`` in [0, 1]).
+
+        An empty histogram answers 0.0 for every quantile — exporters
+        and reports run before any observation lands (a deploy that
+        never retransmits, say) and must not have to special-case it.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError("q must be in [0, 1]")
         if self.count == 0:
-            raise ValueError(f"no observations in histogram {self.name!r}")
+            return 0.0
         target = q * self.count
         cumulative = 0
         for index in sorted(self.buckets):
@@ -154,9 +159,16 @@ class Histogram:
         return self.max
 
     def summary(self) -> dict:
-        """The p50/p95/p99 bundle the reports print."""
+        """The p50/p95/p99 bundle the reports print.
+
+        Always the full key set: an empty histogram reports zeros
+        rather than a truncated dict, so JSON consumers can index
+        ``summary()["p99"]`` unconditionally.
+        """
         if self.count == 0:
-            return {"count": 0, "sum": 0.0}
+            return {"count": 0, "sum": 0.0, "mean": 0.0,
+                    "min": 0.0, "max": 0.0,
+                    "p50": 0.0, "p95": 0.0, "p99": 0.0}
         return {
             "count": self.count,
             "sum": self.sum,

@@ -10,25 +10,49 @@ off, or absent, because instruments only *read* the clock.
 
 from __future__ import annotations
 
+from repro.obs.causal import NULL_CAUSAL, CausalTracer
 from repro.obs.export import (
     telemetry_summary,
     telemetry_to_dict,
     telemetry_to_prometheus,
     write_json,
 )
+from repro.obs.profile import NULL_PROFILER, SimProfiler
+from repro.obs.provenance import NULL_PROVENANCE, BlockProvenance
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.obs.spans import NULL_TRACER, SpanTracer
 
 
 class Telemetry:
-    """Live telemetry for one simulation environment."""
+    """Live telemetry for one simulation environment.
+
+    ``forensics=True`` additionally arms the deployment-forensics
+    layer: the causal event tracer (attached to the environment's
+    ``schedule_hook``), the sim-time profiler, and the per-block
+    provenance recorder.  All three stay at their shared Null
+    stand-ins otherwise, so plain metric/span collection pays nothing
+    for them.
+    """
 
     enabled = True
 
-    def __init__(self, env, span_capacity: int = 10_000):
+    def __init__(self, env, span_capacity: int = 10_000,
+                 forensics: bool = False,
+                 provenance_stride: int = 16):
         self.env = env
         self.registry = MetricsRegistry()
         self.tracer = SpanTracer(env, capacity=span_capacity)
+        self.forensics = forensics
+        if forensics:
+            self.profiler = SimProfiler(env)
+            self.causal = CausalTracer(env,
+                                       profiler=self.profiler).attach()
+            self.provenance = BlockProvenance(env,
+                                              stride=provenance_stride)
+        else:
+            self.profiler = NULL_PROFILER
+            self.causal = NULL_CAUSAL
+            self.provenance = NULL_PROVENANCE
 
     def to_dict(self) -> dict:
         return telemetry_to_dict(self)
@@ -52,9 +76,13 @@ class NullTelemetry:
     """Disabled bundle; shared, stateless, and write-proof."""
 
     enabled = False
+    forensics = False
     env = None
     registry = NULL_REGISTRY
     tracer = NULL_TRACER
+    profiler = NULL_PROFILER
+    causal = NULL_CAUSAL
+    provenance = NULL_PROVENANCE
 
     def to_dict(self) -> dict:
         return {"sim": {}, "counters": [], "gauges": [],

@@ -51,6 +51,14 @@ class Environment:
         #: checker (repro.analysis.replay) folds this stream into a rolling
         #: hash; the hook must never mutate simulation state.
         self.trace_hook = None
+        #: Optional callable ``(event, cause, fire_at)`` invoked whenever
+        #: an event is scheduled.  ``cause`` is the event whose callbacks
+        #: are currently running (None at the top level), which is exactly
+        #: the causal edge the forensics layer (repro.obs.causal) records.
+        #: Kept separate from ``trace_hook`` so causal tracing composes
+        #: with the replay checker; the hook must never mutate state.
+        self.schedule_hook = None
+        self._current_event: Event | None = None
 
     # -- clock and introspection ------------------------------------------
 
@@ -63,6 +71,11 @@ class Environment:
     def active_process(self) -> Process | None:
         """The process currently executing, if any."""
         return self._active_process
+
+    @property
+    def current_event(self) -> Event | None:
+        """The event whose callbacks are currently running, if any."""
+        return self._current_event
 
     def __repr__(self):
         return f"<Environment t={self._now:.6f} queued={len(self._queue)}>"
@@ -95,6 +108,9 @@ class Environment:
         """Put a triggered event onto the queue ``delay`` seconds from now."""
         heappush(self._queue,
                  (self._now + delay, priority, next(self._eid), event))
+        if self.schedule_hook is not None:
+            self.schedule_hook(event, self._current_event,
+                               self._now + delay)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -111,8 +127,12 @@ class Environment:
             self.trace_hook(self._now, event)
 
         callbacks, event.callbacks = event.callbacks, None
-        for callback in callbacks:
-            callback(event)
+        self._current_event = event
+        try:
+            for callback in callbacks:
+                callback(event)
+        finally:
+            self._current_event = None
 
         if not event._ok and not event.defused:
             # An unhandled failure: surface it rather than losing it.

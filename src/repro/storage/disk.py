@@ -13,6 +13,7 @@ import hashlib
 import math
 
 from repro import params
+from repro.obs.telemetry import NULL_TELEMETRY
 from repro.sim import Environment, Resource
 from repro.storage.blockdev import BlockOp, BlockRequest
 from repro.util.intervalmap import IntervalMap
@@ -28,8 +29,10 @@ class Disk:
                  seek_avg: float = params.DISK_SEEK_AVG_SECONDS,
                  seek_max: float = params.DISK_SEEK_MAX_SECONDS,
                  rotation: float = params.DISK_ROTATION_SECONDS,
-                 cache_bytes: int = params.DISK_CACHE_BYTES):
+                 cache_bytes: int = params.DISK_CACHE_BYTES,
+                 telemetry=NULL_TELEMETRY):
         self.env = env
+        self.telemetry = telemetry
         self.capacity_bytes = capacity_bytes
         self.total_sectors = capacity_bytes // params.SECTOR_BYTES
         self.read_bw = read_bw
@@ -105,7 +108,8 @@ class Disk:
             raise ValueError(
                 f"request beyond end of disk: lba={request.lba} "
                 f"n={request.sector_count}")
-        with self.arm.request() as grant:
+        with self.arm.request() as grant, \
+                self.telemetry.profiler.track("disk", request.op.value):
             yield grant
             duration = self.service_time(request)
             cache_hit = self._cache_hit(request)

@@ -318,6 +318,7 @@ class BmcastVmm:
             self.machine.memory.release(self.reserved_region)
         self.machine.set_condition(DEVIRT_CONDITION)
         self._enter_phase("baremetal")
+        self.telemetry.causal.mark("devirtualize")
 
     def _account_polling_exits(self) -> None:
         """Bulk-account the preemption-timer exits the polling threads

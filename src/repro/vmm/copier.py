@@ -134,9 +134,11 @@ class BackgroundCopier:
                     continue
                 start, count = bitmap.block_range(block)
                 try:
-                    runs = yield from \
-                        self.deployment.fetcher.read_blocks(
-                            start, count, bulk=True)
+                    with self.telemetry.profiler.track("copier",
+                                                       "fetch-block"):
+                        runs = yield from \
+                            self.deployment.fetcher.read_blocks(
+                                start, count, bulk=True)
                 except AoeTimeoutError:
                     # Server unreachable: release the claim, back off,
                     # and keep trying — a degraded deployment stalls,
@@ -209,6 +211,7 @@ class BackgroundCopier:
             return
         self.finished_at = self.env.now
         self._end_span()
+        self.telemetry.causal.mark("deploy-complete")
         if not self.done.triggered:
             self.done.succeed(self.env.now)
 
@@ -222,9 +225,11 @@ class BackgroundCopier:
         if policy.is_suspended(self.deployment):
             self.suspensions += 1
             self._m_suspensions.inc()
-            yield self.env.timeout(policy.suspend_interval)
+            with self.telemetry.profiler.track("copier", "moderate-hold"):
+                yield self.env.timeout(policy.suspend_interval)
         elif policy.write_interval > 0:
-            yield self.env.timeout(policy.write_interval)
+            with self.telemetry.profiler.track("copier", "moderate-pace"):
+                yield self.env.timeout(policy.write_interval)
 
     def _write_block(self, block: int, runs: list):
         bitmap = self.deployment.bitmap
@@ -248,7 +253,8 @@ class BackgroundCopier:
                 clean.extend(_clip(runs, run_start, run_count))
             return clean
 
-        yield from self.mediator.vmm_request(request, revalidate)
+        with self.telemetry.profiler.track("copier", "write-block"):
+            yield from self.mediator.vmm_request(request, revalidate)
         written = sum(end - begin for begin, end, _ in
                       request.buffer.runs)
         self.bytes_written += written * params.SECTOR_BYTES
@@ -311,7 +317,8 @@ class BackgroundCopier:
                 cursor = block_end
             return clean
 
-        yield from self.mediator.vmm_request(request, revalidate)
+        with self.telemetry.profiler.track("copier", "write-back"):
+            yield from self.mediator.vmm_request(request, revalidate)
         written = sum(end - begin for begin, end, _ in
                       request.buffer.runs)
         self.writeback_bytes += written * params.SECTOR_BYTES

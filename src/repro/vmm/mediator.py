@@ -206,7 +206,8 @@ class DeviceMediator:
         span = self.telemetry.tracer.start(
             "mediated-read", lba=request.lba,
             sectors=request.sector_count)
-        with self._device_lock.request() as grant:
+        with self._device_lock.request() as grant, \
+                self.telemetry.profiler.track("mediator", "redirect"):
             yield grant
             self.mode = MediatorMode.REDIRECTING
             try:
@@ -295,7 +296,8 @@ class DeviceMediator:
         span = self.telemetry.tracer.start(
             "vmm-request", op=request.op.value, lba=request.lba,
             sectors=request.sector_count)
-        with self._device_lock.request() as grant:
+        with self._device_lock.request() as grant, \
+                self.telemetry.profiler.track("mediator", "vmm-request"):
             yield grant
             # 1. Find proper timing: wait until the device is idle.
             yield from self._wait_device_idle()

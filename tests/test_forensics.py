@@ -1,0 +1,279 @@
+"""Tests for the deployment-forensics layer (causal tracer, profiler,
+provenance, trace export) and its CLI surface."""
+
+import json
+
+import pytest
+
+from repro.analysis import check_replay, deployment_scenario
+from repro.cli import main
+from repro.cloud.provisioner import Provisioner
+from repro.cloud.scenario import build_testbed
+from repro.guest.osimage import OsImage
+from repro.obs import (NULL_CAUSAL, NULL_PROFILER, NULL_PROVENANCE,
+                       NULL_TELEMETRY, CausalTracer, SimProfiler,
+                       Telemetry, chrome_trace_document, classify_actor,
+                       folded_stacks, format_profile, profile_report)
+from repro.sim import Environment, Timeout
+
+
+def small_image(size_mb=128):
+    return OsImage(size_bytes=size_mb * 2**20,
+                   boot_read_bytes=16 * 2**20)
+
+
+def _forensic_deploy(size_mb=128):
+    env = Environment()
+    telemetry = Telemetry(env, forensics=True)
+    testbed = build_testbed(image=small_image(size_mb), env=env,
+                            telemetry=telemetry)
+    provisioner = Provisioner(testbed)
+    instance = env.run(until=env.process(
+        provisioner.deploy("bmcast", skip_firmware=True)))
+    env.run(until=instance.platform.copier.done)
+    env.run(until=env.now + 10.0)
+    return env, telemetry, instance
+
+
+@pytest.fixture(scope="module")
+def forensic_run():
+    return _forensic_deploy()
+
+
+# -- causal tracer ----------------------------------------------------------
+
+
+def test_causal_chain_follows_cause_edges():
+    env = Environment()
+    tracer = CausalTracer(env).attach()
+
+    def child():
+        yield Timeout(env, 1.0)
+        tracer.mark("child-done")
+
+    def parent():
+        yield Timeout(env, 1.0)
+        yield env.process(child(), name="child")
+
+    env.run(until=env.process(parent(), name="parent"))
+    anchor_index, anchor_at = tracer.marks["child-done"]
+    assert anchor_at == pytest.approx(2.0)
+    chain = tracer.chain_from(anchor_index)
+    # Every hop fires no later than the one after it.
+    times = [tracer.fire_at[node] for node in chain]
+    assert times == sorted(times)
+    # The chain reaches back to the start of the run.
+    assert times[0] <= 1.0 and times[-1] == pytest.approx(2.0)
+
+
+def test_latency_budget_partitions_anchor_time():
+    env, telemetry, _ = _forensic_deploy()
+    budget = telemetry.causal.latency_budget("devirtualize")
+    assert budget["anchor"] == "devirtualize"
+    assert budget["anchor_seconds"] > 0
+    total_share = sum(entry["share"] for entry in budget["budget"])
+    # The per-component waits partition the whole interval: the issue's
+    # acceptance bar is >= 95%, the construction gives exactly 100%.
+    assert total_share >= 0.95
+    total_seconds = sum(entry["seconds"] for entry in budget["budget"])
+    assert total_seconds == pytest.approx(budget["anchor_seconds"])
+
+
+def test_component_times_partition_total_sim_time(forensic_run):
+    env, telemetry, _ = forensic_run
+    shares = telemetry.causal.component_times(until=env.now)
+    assert sum(shares.values()) == pytest.approx(env.now, abs=1e-9)
+    # The copy dominates a bmcast deployment; the copier must show up.
+    assert shares.get("copier", 0.0) > 0.0
+
+
+def test_classify_actor_table():
+    assert classify_actor("copier-node0") == "copier"
+    assert classify_actor("aoe-dispatch-3") == "aoe-client"
+    assert classify_actor("aoe-serve-server-1") == "aoe-server"
+    assert classify_actor("megaraid-exec") == "disk"
+    assert classify_actor("node0-eth1-tx") == "nic"
+    assert classify_actor("whatever") == "other"
+
+
+def test_deploy_records_both_marks(forensic_run):
+    _, telemetry, _ = forensic_run
+    assert "devirtualize" in telemetry.causal.marks
+    assert "deploy-complete" in telemetry.causal.marks
+
+
+# -- profiler ---------------------------------------------------------------
+
+
+def test_profiler_nested_tracking_self_time():
+    env = Environment()
+    profiler = SimProfiler(env)
+
+    def work():
+        with profiler.track("outer", "all"):
+            yield Timeout(env, 1.0)
+            with profiler.track("inner", "sub"):
+                yield Timeout(env, 3.0)
+            yield Timeout(env, 1.0)
+
+    env.run(until=env.process(work(), name="w"))
+    assert profiler.component_self["outer"] == pytest.approx(2.0)
+    assert profiler.component_self["inner"] == pytest.approx(3.0)
+    assert profiler.folded["outer:all"] == pytest.approx(2.0)
+    assert profiler.folded["outer:all;inner:sub"] == pytest.approx(3.0)
+
+
+def test_profiler_tracks_deploy_components(forensic_run):
+    _, telemetry, _ = forensic_run
+    tracked = telemetry.profiler.component_self
+    for component in ("vmm", "guest", "copier", "mediator",
+                      "aoe-client", "aoe-server", "disk"):
+        assert tracked.get(component, 0.0) > 0.0, component
+
+
+# -- provenance -------------------------------------------------------------
+
+
+def test_provenance_samples_block_lifecycle(forensic_run):
+    _, telemetry, _ = forensic_run
+    provenance = telemetry.provenance
+    assert provenance.timelines, "no blocks sampled"
+    assert provenance.sources().get("origin", 0) > 0
+    # Every sampled block respects the stride.
+    for (node, block) in provenance.timelines:
+        assert provenance.sampled(block)
+        assert block % provenance.stride == 0
+    # A deployed block's timeline ends in a commit or guest fill.
+    events = {event for records in provenance.timelines.values()
+              for (_, event, _) in records}
+    assert "commit" in events or "guest-fill" in events
+
+
+# -- trace export -----------------------------------------------------------
+
+
+def test_chrome_trace_document_is_valid(forensic_run, tmp_path):
+    _, telemetry, _ = forensic_run
+    document = chrome_trace_document(telemetry)
+    events = document["traceEvents"]
+    assert events
+    phases = {event["ph"] for event in events}
+    assert phases <= {"X", "M", "i"}
+    for event in events:
+        assert "pid" in event and "name" in event
+        if event["ph"] == "X":
+            assert event["ts"] >= 0 and event["dur"] >= 0
+    # Round-trips through JSON.
+    json.loads(json.dumps(document))
+    # Mark instants include the devirtualize anchor.
+    marks = [event for event in events if event["ph"] == "i"]
+    assert any(event["name"] == "devirtualize" for event in marks)
+
+
+def test_folded_stacks_format(forensic_run):
+    _, telemetry, _ = forensic_run
+    text = folded_stacks(telemetry)
+    assert text
+    for line in text.splitlines():
+        stack, _, weight = line.rpartition(" ")
+        assert stack and int(weight) >= 1
+
+
+def test_profile_report_attribution(forensic_run):
+    env, telemetry, _ = forensic_run
+    report = profile_report(telemetry)
+    assert report["total_sim_seconds"] == pytest.approx(env.now)
+    assert sum(report["components"].values()) \
+        == pytest.approx(env.now, abs=1e-9)
+    covered = sum(entry["share"] for entry
+                  in report["critical_path"]["budget"])
+    assert covered >= 0.95
+    text = format_profile(report)
+    assert "Critical path" in text and "copier" in text
+    json.dumps(report)
+
+
+# -- zero-cost null path ----------------------------------------------------
+
+
+def test_null_telemetry_exposes_null_forensics():
+    assert NULL_TELEMETRY.forensics is False
+    assert NULL_TELEMETRY.profiler is NULL_PROFILER
+    assert NULL_TELEMETRY.causal is NULL_CAUSAL
+    assert NULL_TELEMETRY.provenance is NULL_PROVENANCE
+    with NULL_PROFILER.track("x", "y"):
+        pass
+    NULL_CAUSAL.mark("anything")
+    NULL_PROVENANCE.note_fetch("n", 0, 8, "server", "origin", 0.0)
+    assert NULL_CAUSAL.marks == {}
+
+
+def test_plain_telemetry_keeps_forensics_off():
+    telemetry = Telemetry(Environment())
+    assert telemetry.forensics is False
+    assert telemetry.profiler is NULL_PROFILER
+
+
+# -- non-perturbation (the replay-divergence proof) -------------------------
+
+
+def test_forensics_do_not_perturb_the_timeline():
+    def factory(env):
+        return Telemetry(env, forensics=True)
+
+    digests = []
+    for telemetry_factory in (None, factory):
+        scenario = deployment_scenario(
+            lambda: small_image(64), wait=True,
+            telemetry_factory=telemetry_factory)
+        report = check_replay(scenario, runs=2)
+        assert not report.divergent
+        digests.append(report.digests[0])
+    # Identical digests across traced and untraced runs: arming the
+    # full forensics layer changes nothing about the event stream.
+    assert digests[0] == digests[1]
+
+
+# -- CLI --------------------------------------------------------------------
+
+
+def test_cli_deploy_trace_out(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    assert main(["deploy", "--image-gb", "0.0625", "--wait",
+                 "--trace-out", str(out)]) == 0
+    assert "chrome trace written" in capsys.readouterr().out
+    document = json.loads(out.read_text())
+    assert document["traceEvents"]
+
+
+def test_cli_trace_subcommand(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    folded = tmp_path / "folded.txt"
+    assert main(["trace", "--image-gb", "0.0625", "--out", str(out),
+                 "--folded-out", str(folded)]) == 0
+    output = capsys.readouterr().out
+    assert "chrome trace written" in output
+    assert "folded stacks written" in output
+    assert json.loads(out.read_text())["traceEvents"]
+    assert folded.read_text().strip()
+
+
+def test_cli_profile_subcommand(tmp_path, capsys):
+    out = tmp_path / "profile.json"
+    assert main(["profile", "--image-gb", "0.0625",
+                 "--out", str(out)]) == 0
+    output = capsys.readouterr().out
+    assert "Critical path" in output
+    assert "Component wall partition" in output
+    report = json.loads(out.read_text())
+    assert report["critical_path"]["anchor"] == "devirtualize"
+
+
+def test_cli_compare_trace_out(tmp_path, capsys):
+    out = tmp_path / "compare.json"
+    assert main(["compare", "--image-gb", "0.0625",
+                 "--trace-out", str(out)]) == 0
+    capsys.readouterr()
+    document = json.loads(out.read_text())
+    pids = {event["pid"] for event in document["traceEvents"]}
+    assert len(pids) > 1  # one pid per method

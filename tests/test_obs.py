@@ -82,6 +82,20 @@ def test_histogram_percentiles_bracket_the_data():
     assert 0.0505 / 2 <= summary["p50"] <= 0.0505 * 2
 
 
+def test_histogram_empty_is_well_defined():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("latency")
+    assert histogram.mean == 0.0
+    assert histogram.percentile(0.5) == 0.0
+    assert histogram.percentile(0.99) == 0.0
+    summary = histogram.summary()
+    assert summary == {"count": 0, "sum": 0.0, "mean": 0.0,
+                       "min": 0.0, "max": 0.0,
+                       "p50": 0.0, "p95": 0.0, "p99": 0.0}
+    with pytest.raises(ValueError):
+        histogram.percentile(1.5)
+
+
 def test_null_registry_is_inert_and_shared():
     before = len(NULL_REGISTRY)
     counter = NULL_REGISTRY.counter("anything", op="x")
@@ -211,6 +225,51 @@ def test_prometheus_export_shape():
     inf_line = [line for line in text.splitlines()
                 if 'le="+Inf"' in line][0]
     assert inf_line.endswith(" 3")
+
+
+def test_prometheus_export_escapes_labels_and_help():
+    env = Environment()
+    telemetry = Telemetry(env)
+    telemetry.registry.counter(
+        "odd_total", help='has "quotes" and \\slashes\\\nand lines',
+        path='C:\\tmp\n"x"').inc()
+    text = telemetry_to_prometheus(telemetry)
+    # HELP escapes backslash + newline; quotes stay literal.
+    assert ('# HELP odd_total has "quotes" and '
+            '\\\\slashes\\\\\\nand lines') in text
+    # Label values additionally escape the quote.
+    assert r'path="C:\\tmp\n\"x\""' in text
+    # Every line is still single-line exposition format.
+    assert all("\n" not in line for line in text.split("\n"))
+
+
+def test_empty_histogram_exports_cleanly():
+    env = Environment()
+    telemetry = Telemetry(env)
+    telemetry.registry.histogram("never_observed_seconds")
+    payload = telemetry_to_dict(telemetry)
+    [histogram] = payload["histograms"]
+    assert histogram["count"] == 0
+    assert histogram["p99"] == 0.0
+    json.dumps(payload)
+    text = telemetry_to_prometheus(telemetry)
+    assert 'never_observed_seconds_bucket{le="+Inf"} 0' in text
+    assert "never_observed_seconds_count 0" in text
+
+
+def test_telemetry_json_round_trip(tmp_path):
+    telemetry = _telemetry_with_data()
+    out = tmp_path / "telemetry.json"
+    telemetry.write(str(out))
+    payload = json.loads(out.read_text())
+    direct = telemetry_to_dict(telemetry)
+    assert payload == json.loads(json.dumps(direct))
+    [counter] = payload["counters"]
+    assert counter["value"] == 3
+    [histogram] = payload["histograms"]
+    assert histogram["count"] == 3
+    [span] = payload["spans"]
+    assert span["name"] == "deploy"
 
 
 def test_null_telemetry_write_refuses():
