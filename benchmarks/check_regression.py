@@ -9,9 +9,13 @@ is a real behavioral change.  This checker compares the newest record
 against the one before it, per shared metric, and exits non-zero when
 any metric worsened by more than the threshold.
 
-Direction heuristic: metric names containing ``ratio``, ``throughput``,
-``rate`` or ``hits`` are higher-is-better; everything else (seconds,
-latencies, counts of work) is lower-is-better.
+Direction: every figure family a bench emits is registered in
+``DIRECTIONS`` (exact names) or ``SUFFIX_DIRECTIONS`` (parameterized
+families like ``{method}_ready_seconds``).  A figure matching neither
+falls back to the old substring heuristic *with a warning* — add new
+families to the tables instead of relying on the fallback, which once
+mis-scored ``wasted_node_seconds``-style names that merely mention a
+higher-is-better token.
 
 Usage::
 
@@ -30,15 +34,54 @@ import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
+#: Exact figure name -> better direction.  One entry per singleton
+#: figure; parameterized families live in SUFFIX_DIRECTIONS.
+DIRECTIONS = {
+    # bench_scaleout.py
+    "last_wave_peer_hit_ratio": "higher",
+    # bench_elasticity.py (placement comparison at equal fleet size)
+    "round_robin_wave_p95_seconds": "lower",
+    "cache_aware_wave_p95_seconds": "lower",
+}
+
+#: Figure-family suffix -> better direction, matched in order.  Covers
+#: names templated over a method/policy/node-count axis:
+#:   {method}_ready_seconds        bench_fig04_startup.py   lower
+#:   baseline_{n}_seconds,
+#:   fabric_{n}_seconds            bench_scaleout.py        lower
+#:   {policy}_slo_attainment       bench_elasticity.py      higher
+#:   {policy}_wasted_node_seconds  bench_elasticity.py      lower
+#:   {policy}_ttr_p95_seconds      bench_elasticity.py      lower
+SUFFIX_DIRECTIONS = (
+    ("_slo_attainment", "higher"),
+    ("_hit_ratio", "higher"),
+    ("_throughput", "higher"),
+    ("_ready_seconds", "lower"),
+    ("_wasted_node_seconds", "lower"),
+    ("_seconds", "lower"),
+)
+
+#: Fallback-only heuristic, kept for figures added without a table
+#: entry; hitting it prints a warning.
 HIGHER_IS_BETTER = ("ratio", "throughput", "rate", "hits")
 
 
 def metric_direction(name: str) -> str:
     """'higher' or 'lower' (the better direction) for a metric name."""
+    direction = DIRECTIONS.get(name)
+    if direction is not None:
+        return direction
+    for suffix, direction in SUFFIX_DIRECTIONS:
+        if name.endswith(suffix):
+            return direction
     lowered = name.lower()
-    if any(token in lowered for token in HIGHER_IS_BETTER):
-        return "higher"
-    return "lower"
+    guessed = "higher" if any(token in lowered
+                              for token in HIGHER_IS_BETTER) else "lower"
+    print(f"warning: figure {name!r} has no direction entry; "
+          f"guessing {guessed}-is-better — add it to DIRECTIONS or "
+          f"SUFFIX_DIRECTIONS in benchmarks/check_regression.py",
+          file=sys.stderr)
+    return guessed
 
 
 def compare_records(previous: dict, latest: dict,

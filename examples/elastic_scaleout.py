@@ -13,6 +13,12 @@ instead the fleet deploys over the distribution fabric (`repro.dist`)
 and the second wave pulls most of the image from the first wave's
 half-deployed nodes rather than the origin.
 
+Act three: the spike passes, and no operator touches anything.  The
+elastic control plane (`repro.ctl`) reclaims the idle nodes — drain,
+re-virtualize in resident mode, preserve the disk — and when demand
+returns, cache-aware placement lands the new deployments on those
+warm nodes, which also serve image chunks to any cold neighbour.
+
 Run:  python examples/elastic_scaleout.py
 """
 
@@ -20,6 +26,8 @@ from repro import Provisioner, build_testbed
 from repro.apps.kvstore import CASSANDRA, KvStoreServer
 from repro.apps.ycsb import WRITE_HEAVY, YcsbBenchmark
 from repro.cloud import Cluster, WaveScheduler
+from repro.ctl import (ElasticController, FlashCrowdDemand, NodePool,
+                       CacheAwarePlacement, ReactivePolicy)
 from repro.guest.osimage import OsImage
 from repro.metrics.report import format_table
 
@@ -125,9 +133,96 @@ def fleet_scale_out():
           f"touched an origin server.")
 
 
+def elastic_breathing():
+    print("\nAct 3 — the spike passes: the autoscaler gives the "
+          "metal back, then gets it back cheap...\n")
+    # Quarter-size image: act 3 runs dozens of deploy/reclaim cycles,
+    # and warm-vs-cold behaves identically at any image size.
+    testbed = build_testbed(node_count=6, server_count=1, p2p=True,
+                            image=OsImage(size_bytes=2**30,
+                                          boot_read_bytes=24 * 2**20,
+                                          boot_think_seconds=6.0))
+    pool = NodePool(testbed, vmxoff_mode="resident")
+    controller = ElasticController(
+        pool, FlashCrowdDemand(spike_at=600.0, seed=20150314),
+        ReactivePolicy(), CacheAwarePlacement(), tick=15.0)
+    env = testbed.env
+    env.run(until=env.process(controller.run(2700.0), name="ctl-loop"))
+
+    print(format_table(
+        ["t (s)", "fleet", "target", "why"],
+        [[f"{t:.0f}", provisioned, target, reason]
+         for t, target, provisioned, reason in controller.decisions],
+        title="Every scale decision the reactive policy made"))
+
+    report = controller.report()
+    reclaims = report["reclaims"]
+    warm = [record.index for record in pool.nodes
+            if record.warm_blocks]
+    print(f"\nServed {report['served']}/{report['requests']} requests "
+          f"(SLO attainment {report['slo_attainment']:.0%}), wasting "
+          f"{report['wasted_node_seconds']:.0f} node-seconds; "
+          f"{reclaims} reclamation(s), each re-armed in "
+          f"p95 {report['reclaim_p95_seconds']:.1f}s (resident mode).")
+
+    print(f"Nodes {warm} ended the run free-but-warm, still "
+          f"advertising their image blocks to the fabric.")
+
+    # One tenant leaves for good: their node is reclaimed with a
+    # scrub (no tenant bit survives), so it comes back stone cold.
+    def scrub_one():
+        while not pool.idle_ready():   # let in-flight holds finish
+            yield env.timeout(30.0)
+        index = pool.idle_ready()[0].index
+        yield from pool.reclaim(index, preserve=False)
+        return index
+
+    scrub = env.process(scrub_one(), name="scrub")
+    env.run(until=scrub)
+    scrubbed = scrub.value
+    print(f"node{scrubbed} reclaimed with scrub (tenant isolation): "
+          f"disk wiped, back to free but cold.")
+
+    # The payoff: demand comes back.  Deploy every free node — the
+    # warm ones resume straight from their preserved disk; the
+    # scrubbed one pulls the image from the warm peers, not the origin.
+    cold_ttr = pool.time_to_ready[0]
+    wave = [record.index for record in pool.free_nodes()]
+    before = len(pool.time_to_ready)
+
+    def next_wave():
+        yield env.all_of([
+            env.process(pool.deploy(index), name=f"wave-{index}")
+            for index in wave])
+
+    env.run(until=env.process(next_wave(), name="next-wave"))
+
+    peer_ports = {pool.peer_port_of(record.index): record.index
+                  for record in pool.nodes}
+    rows = []
+    for index, ttr in zip(wave, pool.time_to_ready[before:]):
+        router = pool.nodes[index].vmm.router
+        fed_by = ", ".join(
+            f"node{peer_ports[target]}"
+            for target, hits in sorted(
+                router.peer_hits_by_target.items()) if hits)
+        rows.append([f"node{index}", round(ttr, 1),
+                     router.origin_fetches,
+                     fed_by or "(resumed from preserved disk)"])
+    print("\n" + format_table(
+        ["node", "ready (s)", "origin fetches", "image came from"],
+        rows,
+        title=f"Next scale-up: the whole free pool at once "
+        f"(first cold deploy of the run took {cold_ttr:.0f}s)"))
+    print("\nReclaimed-with-preserve nodes resume without touching "
+          "the origin, and feed whatever is still cold — the fleet's "
+          "own history is its image cache.")
+
+
 def main():
     one_node_race()
     fleet_scale_out()
+    elastic_breathing()
 
 
 if __name__ == "__main__":

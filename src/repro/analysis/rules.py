@@ -197,8 +197,10 @@ class LayeringRule(Rule):
     #: (net/hw/storage) build on it; the AoE protocol rides the net;
     #: guest and dist ride AoE; the VMM composes all of them (its
     #: fetch path routes through repro.dist); orchestration (cloud,
-    #: baselines, apps) composes VMMs; tooling (cli, analysis) sees
-    #: everything.
+    #: baselines, apps) composes VMMs; the elastic control plane (ctl)
+    #: drives deployments and reclamations, so it sits above cloud —
+    #: and nothing below it may ever import it back; tooling (cli,
+    #: analysis) sees everything.
     RANKS = {
         "params": 0, "util": 0,
         "sim": 1,
@@ -208,9 +210,10 @@ class LayeringRule(Rule):
         "guest": 5, "dist": 5,
         "vmm": 6,
         "cloud": 7, "baselines": 7, "apps": 7,
-        "cli": 8, "analysis": 8, "__main__": 8,
+        "ctl": 8,
+        "cli": 9, "analysis": 9, "__main__": 9,
         # The package root re-exports the public API; it sees everything.
-        "repro": 8,
+        "repro": 9,
     }
 
     def check(self, context: LintContext):

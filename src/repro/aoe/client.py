@@ -76,7 +76,17 @@ class AoeInitiator:
         #: ``"timeout"``, ``"complete"``.  The AoE conformance validator
         #: subscribes here; observers must not mutate the client.
         self.observers: list = []
+        self.initial_rto = initial_rto
+        #: Primary-server estimator, kept as ``self.rtt`` for callers
+        #: that read ``srtt``/``rto`` in the single-target case.
         self.rtt = RttEstimator(initial_rto, min_rto)
+        #: Per-target estimators.  RTT state must not leak across
+        #: targets: a warm peer answering from its local disk in
+        #: microseconds would otherwise collapse the RTO that a
+        #: congested origin replica is judged by, and every queued
+        #: origin read would burn its whole retry budget (the reclaim
+        #: path's warm peers made this mix the common case).
+        self._rtts: dict[str, RttEstimator] = {server: self.rtt}
         self.min_rto = min_rto
         self._dispatcher = None
         # Metrics.
@@ -126,6 +136,14 @@ class AoeInitiator:
     @property
     def srtt(self) -> float:
         return self.rtt.srtt
+
+    def estimator_for(self, target: str) -> RttEstimator:
+        """The RTT estimator tracking one target (created on first use)."""
+        estimator = self._rtts.get(target)
+        if estimator is None:
+            estimator = RttEstimator(self.initial_rto, self.min_rto)
+            self._rtts[target] = estimator
+        return estimator
 
     # -- public operations ----------------------------------------------------------
 
@@ -208,14 +226,15 @@ class AoeInitiator:
                        sector_count=command.sector_count,
                        target=transaction.target, retransmit=False)
         yield from self._send_command(transaction)
+        rtt = self.estimator_for(transaction.target)
         while not transaction.done.triggered:
-            timer = self.env.timeout(self.rto, value="timeout")
+            timer = self.env.timeout(rtt.rto, value="timeout")
             outcome = yield self.env.any_of([transaction.done, timer])
             if transaction.done in outcome:
                 break
             # Fragments still trickling in: the reply is in flight,
             # extend rather than retransmit.
-            if (self.env.now - transaction.last_activity) < self.rto:
+            if (self.env.now - transaction.last_activity) < rtt.rto:
                 continue
             transaction.retries += 1
             if transaction.retries > self.MAX_RETRIES:
@@ -229,7 +248,7 @@ class AoeInitiator:
             self.retransmissions += 1
             self._m_retransmissions.inc()
             # Back off the estimator on loss (Karn-style doubling).
-            self.rtt.back_off()
+            rtt.back_off()
             transaction.sent_at = self.env.now
             if self.observers:
                 self._emit("send", tag=command.tag, op=command.op,
@@ -302,7 +321,8 @@ class AoeInitiator:
             self._emit("rtt-sample", tag=transaction.command.tag,
                        retries=transaction.retries,
                        rtt=self.env.now - transaction.sent_at)
-        self.rtt.observe(self.env.now - transaction.sent_at)
+        self.estimator_for(transaction.target).observe(
+            self.env.now - transaction.sent_at)
 
     def _on_nak(self, nak: AoeNak) -> None:
         transaction = self._pending.get(nak.tag)

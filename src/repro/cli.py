@@ -7,6 +7,9 @@ Commands:
 * ``compare``   — deploy by every method and print a Figure-4-style table.
 * ``scaleout``  — deploy a fleet in waves over the distribution fabric
   and print the per-wave table (replicas, p2p, selection policy).
+* ``ctl``       — run the elastic control plane: a demand curve drives
+  an autoscaler that deploys and reclaims bare-metal nodes
+  (see docs/control_plane.md).
 * ``sweep``     — the moderation write-interval sweep (Figure 14 shape).
 * ``metrics``   — deploy once with telemetry on and print the summary.
 * ``trace``     — deploy with forensics on and write a Chrome-trace
@@ -36,6 +39,9 @@ import argparse
 from repro import params
 from repro.cloud.provisioner import METHODS, Provisioner
 from repro.cloud.scenario import build_testbed
+from repro.ctl.demand import DEMANDS as CTL_DEMANDS
+from repro.ctl.placement import PLACEMENTS as CTL_PLACEMENTS
+from repro.ctl.policy import POLICIES as CTL_POLICIES
 from repro.dist.selector import POLICIES
 from repro.guest.osimage import OsImage
 from repro.metrics.report import format_table
@@ -111,6 +117,56 @@ def _build_parser() -> argparse.ArgumentParser:
     scaleout.add_argument("--trace-out", metavar="FILE",
                           help="arm the forensics layer and write the "
                           "run as Chrome-trace JSON")
+
+    ctl = sub.add_parser(
+        "ctl", help="run the elastic control plane over a demand curve")
+    ctl.add_argument("--nodes", type=int, default=8,
+                     help="fleet size the autoscaler manages (default 8)")
+    ctl.add_argument("--policy", choices=sorted(CTL_POLICIES),
+                     default="reactive", help="autoscaler policy")
+    ctl.add_argument("--placement", choices=sorted(CTL_PLACEMENTS),
+                     default="cache-aware", help="free-node placement")
+    ctl.add_argument("--demand", choices=sorted(CTL_DEMANDS),
+                     default="flash-crowd", help="demand model")
+    ctl.add_argument("--demand-trace", metavar="FILE",
+                     help="replay a recorded request trace instead of "
+                     "a synthetic demand model")
+    ctl.add_argument("--dump-demand", metavar="FILE",
+                     help="also write the admitted requests as a "
+                     "replayable trace file")
+    ctl.add_argument("--duration", type=float, default=3600.0,
+                     help="control-loop run time in sim seconds "
+                     "(default 3600)")
+    ctl.add_argument("--tick", type=float, default=15.0,
+                     help="control tick in sim seconds (default 15)")
+    ctl.add_argument("--seed", type=int, default=20150314,
+                     help="demand model RNG seed")
+    ctl.add_argument("--image-gb", type=float, default=0.25,
+                     help="OS image size (default 0.25 for speed)")
+    ctl.add_argument("--replicas", type=int, default=1,
+                     help="origin AoE replica count (default 1)")
+    ctl.add_argument("--p2p", action="store_true",
+                     help="enable peer-to-peer chunk serving")
+    ctl.add_argument("--vmxoff-mode",
+                     choices=("full", "module-assisted", "resident"),
+                     default="resident",
+                     help="de-virtualization mode; resident keeps the "
+                     "dormant VMM, making reclaim a fast re-arm")
+    ctl.add_argument("--no-preserve", action="store_true",
+                     help="scrub on reclaim instead of preserving "
+                     "pristine blocks (disables the warm pool)")
+    ctl.add_argument("--metrics-out", metavar="FILE",
+                     help="export telemetry (JSON, or Prometheus "
+                     "text if FILE ends in .prom)")
+    ctl.add_argument("--trace-out", metavar="FILE",
+                     help="arm the forensics layer and write the run "
+                     "as Chrome-trace JSON")
+    ctl.add_argument("--sanitize", action="store_true",
+                     help="attach the runtime sanitizers to every "
+                     "deployment; exit 1 on any violation")
+    ctl.add_argument("--replay-check", action="store_true",
+                     help="run the scenario twice and compare the "
+                     "event-stream digests; exit 1 on divergence")
 
     compare = sub.add_parser("compare", help="compare every method")
     compare.add_argument("--image-gb", type=float, default=4.0)
@@ -336,6 +392,80 @@ def cmd_scaleout(args) -> int:
     return 0
 
 
+def cmd_ctl(args) -> int:
+    """Run the elastic control plane and print the run report."""
+    from repro.ctl import (ElasticController, NodePool, TraceDemand,
+                           dump_trace, load_trace)
+    env, telemetry = _make_telemetry(args)
+    testbed = build_testbed(node_count=args.nodes,
+                            server_count=args.replicas,
+                            p2p=args.p2p,
+                            image=_image(args.image_gb),
+                            env=env, telemetry=telemetry)
+    deploy_options = {}
+    suite = None
+    if args.sanitize:
+        from repro.analysis import SanitizerSuite
+        suite = SanitizerSuite(env)
+        deploy_options["sanitizers"] = suite
+    pool = NodePool(testbed, vmxoff_mode=args.vmxoff_mode,
+                    deploy_options=deploy_options, telemetry=telemetry)
+    if args.demand_trace:
+        demand = TraceDemand(load_trace(args.demand_trace),
+                             seed=args.seed)
+    else:
+        demand = CTL_DEMANDS[args.demand](seed=args.seed)
+    controller = ElasticController(
+        pool, demand, CTL_POLICIES[args.policy](),
+        CTL_PLACEMENTS[args.placement](), tick=args.tick,
+        preserve_on_reclaim=not args.no_preserve, telemetry=telemetry)
+    env.run(until=env.process(controller.run(args.duration),
+                              name="ctl-loop"))
+    report = controller.report()
+    fleet = report.pop("fleet")
+    print(format_table(
+        ["metric", "value"],
+        [[key, value] for key, value in report.items()],
+        title=f"Elastic run: {args.nodes} nodes, "
+        f"policy {args.policy}, placement {args.placement}, "
+        f"demand {args.demand_trace or args.demand}"))
+    print("fleet at end: " + ", ".join(
+        f"{key}={value}" for key, value in fleet.items()))
+    if controller.decisions:
+        print("scale decisions:")
+        for when, target, provisioned, reason in controller.decisions:
+            print(f"  t={when:7.1f}s  {provisioned} -> {target}  "
+                  f"({reason})")
+    if args.dump_demand:
+        dump_trace(controller.requests, args.dump_demand)
+        print(f"demand trace written to {args.dump_demand}")
+    if args.metrics_out:
+        telemetry.write(args.metrics_out)
+        print(f"telemetry written to {args.metrics_out}")
+    if args.trace_out:
+        _write_trace(telemetry, args.trace_out, process_name="ctl")
+    status = 0
+    if suite is not None:
+        suite.finalize()
+        print(suite.describe())
+        if suite.violations:
+            status = 1
+    if args.replay_check:
+        from repro.analysis import check_replay
+        from repro.ctl import elasticity_scenario
+        scenario = elasticity_scenario(
+            lambda: _image(args.image_gb), node_count=args.nodes,
+            server_count=args.replicas, p2p=args.p2p,
+            policy_name=args.policy, placement_name=args.placement,
+            demand_name=args.demand, demand_seed=args.seed,
+            duration=args.duration, tick=args.tick,
+            vmxoff_mode=args.vmxoff_mode)
+        replay = check_replay(scenario, runs=2)
+        print(replay.describe())
+        status = max(status, 1 if replay.divergent else 0)
+    return status
+
+
 def cmd_lint(args) -> int:
     from repro.analysis.lint import main as lint_main
     argv = list(args.paths or ["src/repro"])
@@ -546,6 +676,7 @@ def main(argv=None) -> int:
     handler = {
         "deploy": cmd_deploy,
         "scaleout": cmd_scaleout,
+        "ctl": cmd_ctl,
         "compare": cmd_compare,
         "sweep": cmd_sweep,
         "metrics": cmd_metrics,

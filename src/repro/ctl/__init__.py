@@ -1,0 +1,35 @@
+"""The elastic control plane (repro.ctl).
+
+Everything above a single deployment: the node lifecycle FSM with the
+bare-metal reclaim path, demand models, autoscaler policies,
+cache-aware placement, and the controller that ties them into a
+closed loop.  See docs/control_plane.md.
+"""
+
+from repro.ctl.controller import (ElasticController, elasticity_scenario,
+                                  percentile)
+from repro.ctl.demand import (DEMANDS, DemandModel, DiurnalDemand,
+                              FlashCrowdDemand, Request, StepDemand,
+                              TraceDemand, dump_trace, load_trace)
+from repro.ctl.lifecycle import (DEPLOYING, DRAINING, FAILED, FREE,
+                                 NETBOOTING, READY, SCRUBBING, STATES,
+                                 TRANSITIONS, LifecycleError, NodePool,
+                                 NodeRecord)
+from repro.ctl.placement import (PLACEMENTS, CacheAwarePlacement,
+                                 RoundRobinPlacement, image_block_set)
+from repro.ctl.policy import (POLICIES, HeadroomPolicy, Observation,
+                              PredictivePolicy, ReactivePolicy,
+                              ScaleDecision)
+
+__all__ = [
+    "ElasticController", "elasticity_scenario", "percentile",
+    "DEMANDS", "DemandModel", "DiurnalDemand", "FlashCrowdDemand",
+    "Request", "StepDemand", "TraceDemand", "dump_trace", "load_trace",
+    "FREE", "NETBOOTING", "DEPLOYING", "READY", "DRAINING", "SCRUBBING",
+    "FAILED", "STATES", "TRANSITIONS", "LifecycleError", "NodePool",
+    "NodeRecord",
+    "PLACEMENTS", "CacheAwarePlacement", "RoundRobinPlacement",
+    "image_block_set",
+    "POLICIES", "HeadroomPolicy", "Observation", "PredictivePolicy",
+    "ReactivePolicy", "ScaleDecision",
+]

@@ -1,0 +1,219 @@
+"""Autoscaler policies: how many nodes should be provisioned?
+
+Each control tick the :class:`~repro.ctl.controller.ElasticController`
+builds an :class:`Observation` of the fleet and asks its policy for a
+:class:`ScaleDecision` — a target provisioned-node count plus the
+reason, which lands in the scale-decision log and the forensics
+timeline.  Policies are pure functions of the observation stream plus
+their own bounded history: no wall clock, no hidden randomness, so an
+autoscaling run replays bit-identically (``--replay-check``).
+
+Three members, spanning the classic design space:
+
+* :class:`ReactivePolicy` — threshold on the observed queue with
+  hysteresis and a cooldown, the industry-default feedback loop.
+* :class:`PredictivePolicy` — a moving-window arrival-rate forecast
+  turned into a capacity target via Little's law, so capacity starts
+  building *before* the queue does.
+* :class:`HeadroomPolicy` — always keep ``headroom`` idle-ready nodes
+  on top of demand; simple, fast to react, pays for the spare metal.
+
+The interesting economics: a slow-to-provision cloud must overprovision
+(HeadroomPolicy) to hit deadlines, while a fast-deploy/fast-reclaim
+cloud (the paper's contribution) can run the cheaper reactive loop and
+still meet the SLO — ``benchmarks/bench_elasticity.py`` quantifies
+exactly that trade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Observation:
+    """What the controller can see at one tick."""
+
+    now: float
+    #: Requests admitted but not yet assigned to a ready node.
+    queue_depth: int
+    #: Nodes currently serving a request.
+    busy: int
+    #: Ready nodes with no request on them.
+    idle: int
+    #: Nodes free (fully reclaimed, available to deploy).
+    free: int
+    #: Nodes in netbooting/deploying (capacity in flight).
+    deploying: int
+    #: Nodes draining or scrubbing (capacity leaving).
+    reclaiming: int
+    #: Arrivals since the previous tick.
+    arrived: int
+    #: Requests that completed their hold since the previous tick.
+    completed: int
+
+    @property
+    def provisioned(self) -> int:
+        """Capacity that exists or is being built."""
+        return self.busy + self.idle + self.deploying
+
+    @property
+    def total_nodes(self) -> int:
+        return (self.busy + self.idle + self.free + self.deploying
+                + self.reclaiming)
+
+
+@dataclass(frozen=True)
+class ScaleDecision:
+    """Target provisioned-node count plus the why."""
+
+    target: int
+    reason: str
+
+    def delta(self, observation: Observation) -> int:
+        return self.target - observation.provisioned
+
+
+class ReactivePolicy:
+    """Queue-threshold feedback with hysteresis and cooldown.
+
+    Scale up one node per ``up_per`` queued requests once the queue
+    exceeds ``queue_high``; scale down only when the queue has been
+    empty *and* at least ``idle_low`` nodes sat idle for
+    ``settle_ticks`` consecutive ticks (hysteresis — a momentary lull
+    must not shed capacity a second spike will need).  ``cooldown``
+    seconds must pass between scale-downs so reclaim churn never
+    oscillates.
+    """
+
+    name = "reactive"
+
+    def __init__(self, queue_high: int = 2, up_per: int = 2,
+                 idle_low: int = 2, settle_ticks: int = 3,
+                 cooldown: float = 300.0, min_nodes: int = 1):
+        self.queue_high = queue_high
+        self.up_per = up_per
+        self.idle_low = idle_low
+        self.settle_ticks = settle_ticks
+        self.cooldown = cooldown
+        self.min_nodes = min_nodes
+        self._calm_ticks = 0
+        self._last_shrink = None
+
+    def decide(self, observation: Observation) -> ScaleDecision:
+        provisioned = observation.provisioned
+        if observation.queue_depth > self.queue_high:
+            self._calm_ticks = 0
+            extra = -(-observation.queue_depth // self.up_per)  # ceil
+            target = min(observation.total_nodes, provisioned + extra)
+            return ScaleDecision(
+                target, f"queue {observation.queue_depth} > "
+                        f"{self.queue_high}: +{target - provisioned}")
+        if observation.queue_depth == 0 \
+                and observation.idle >= self.idle_low:
+            self._calm_ticks += 1
+        else:
+            self._calm_ticks = 0
+        cooled = (self._last_shrink is None
+                  or observation.now - self._last_shrink >= self.cooldown)
+        if self._calm_ticks >= self.settle_ticks and cooled \
+                and provisioned > self.min_nodes:
+            # Shed idle capacity, but never below what is in use.
+            target = max(self.min_nodes, observation.busy + 1,
+                         provisioned - observation.idle + 1)
+            if target < provisioned:
+                self._last_shrink = observation.now
+                self._calm_ticks = 0
+                return ScaleDecision(
+                    target, f"idle {observation.idle} for "
+                            f"{self.settle_ticks} ticks: "
+                            f"-{provisioned - target}")
+        return ScaleDecision(provisioned, "hold")
+
+
+class PredictivePolicy:
+    """Little's-law forecast over a moving arrival window.
+
+    Keeps the last ``window_ticks`` (arrivals, completions) samples;
+    the forecast capacity is ``arrival_rate × mean_hold`` (the steady
+    state concurrency Little's law predicts) plus the current backlog,
+    padded by ``margin``.  Reacts before the queue grows — at the cost
+    of trusting the recent past to predict the near future.
+    """
+
+    name = "predictive"
+
+    def __init__(self, window_ticks: int = 10, mean_hold: float = 600.0,
+                 margin: float = 1.25, min_nodes: int = 1):
+        self.window_ticks = window_ticks
+        self.mean_hold = mean_hold
+        self.margin = margin
+        self.min_nodes = min_nodes
+        self._window: list = []  # (tick_seconds, arrivals)
+        self._hold_estimate = mean_hold
+        self._active_holds: list = []
+
+    def note_hold(self, hold: float) -> None:
+        """Controller feedback: an admitted request's declared hold."""
+        self._active_holds.append(hold)
+        if len(self._active_holds) > 64:
+            self._active_holds.pop(0)
+        self._hold_estimate = (sum(self._active_holds)
+                               / len(self._active_holds))
+
+    def decide(self, observation: Observation) -> ScaleDecision:
+        self._window.append(observation)
+        if len(self._window) > self.window_ticks:
+            self._window.pop(0)
+        span = (self._window[-1].now - self._window[0].now) \
+            if len(self._window) > 1 else 0.0
+        arrivals = sum(obs.arrived for obs in self._window)
+        if span <= 0.0:
+            rate = 0.0
+        else:
+            rate = arrivals / span
+        forecast = rate * self._hold_estimate
+        target = max(
+            self.min_nodes,
+            int(forecast * self.margin + 0.5) + observation.queue_depth,
+            observation.busy,
+        )
+        target = min(target, observation.total_nodes)
+        return ScaleDecision(
+            target,
+            f"rate {rate * 3600:.1f}/h x hold {self._hold_estimate:.0f}s "
+            f"-> {forecast:.1f} + queue {observation.queue_depth}")
+
+
+class HeadroomPolicy:
+    """Always keep ``headroom`` idle-ready nodes above current demand.
+
+    The overprovisioning baseline: capacity follows ``busy + queue``
+    with a fixed cushion, so deadlines are met by paying for spare
+    metal around the clock.  Its wasted-node-seconds column is the
+    price agility lets the other policies avoid.
+    """
+
+    name = "headroom"
+
+    def __init__(self, headroom: int = 2, min_nodes: int = 1):
+        self.headroom = headroom
+        self.min_nodes = min_nodes
+
+    def decide(self, observation: Observation) -> ScaleDecision:
+        wanted = (observation.busy + observation.queue_depth
+                  + self.headroom)
+        target = min(observation.total_nodes,
+                     max(self.min_nodes, wanted))
+        return ScaleDecision(
+            target, f"busy {observation.busy} + queue "
+                    f"{observation.queue_depth} + headroom "
+                    f"{self.headroom}")
+
+
+#: Name -> zero-argument factory, for the CLI and benches.
+POLICIES = {
+    "reactive": ReactivePolicy,
+    "predictive": PredictivePolicy,
+    "headroom": HeadroomPolicy,
+}

@@ -82,6 +82,20 @@ class PeerDirectory:
     def advertised(self, port: str) -> set[int]:
         return set(self._summaries.get(port, ()))
 
+    def overlap(self, port: str, blocks) -> int:
+        """How many of ``blocks`` the peer at ``port`` advertises.
+
+        The cache-aware placement policy (repro.ctl) scores free nodes
+        by this overlap with the requested image's block set before
+        falling back to round-robin.
+        """
+        summary = self._summaries.get(port)
+        if not summary:
+            return 0
+        wanted = blocks if isinstance(blocks, (set, frozenset)) \
+            else set(blocks)
+        return len(summary & wanted)
+
     def __len__(self) -> int:
         return len(self._summaries)
 
@@ -212,6 +226,20 @@ class PeerChunkService(AoeServer):
     def stop(self) -> None:
         self.directory.withdraw(self.nic.name)
         super().stop()
+
+    def serve_warm(self) -> None:
+        """Re-arm a stopped responder as a free-node warm source.
+
+        The reclaim path (repro.ctl) preserves a node's pristine image
+        blocks on the local disk; restarting the responder and
+        re-publishing the summary turns the *free* node into a peer
+        source for the next scale-up — capacity the fabric gets back
+        for nothing.  The node has no mediator anymore, so every
+        subsequent disk write is direct I/O.
+        """
+        self.direct_io = True
+        self.start()
+        self.publish()
 
     # -- serving ------------------------------------------------------------------
 

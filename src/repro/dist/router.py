@@ -42,6 +42,10 @@ class FetchRouter:
         self.peer_hits = 0
         self.peer_misses = 0
         self.origin_fetches = 0
+        #: Peer port -> fetches it served us.  The elastic control
+        #: plane reads this to prove reclaimed warm nodes actually fed
+        #: the next scale-up.
+        self.peer_hits_by_target: dict[str, int] = {}
         registry = telemetry.registry
         self._m_peer_hits = registry.counter(
             "dist_peer_hits_total", node=node_port,
@@ -70,6 +74,8 @@ class FetchRouter:
             "peer_misses": self.peer_misses,
             "origin_fetches": self.origin_fetches,
             "peer_hit_ratio": round(self.peer_hit_ratio, 4),
+            "peer_hits_by_target": dict(
+                sorted(self.peer_hits_by_target.items())),
             "replica_load": dict(sorted(self.selector.load.items())),
         }
 
@@ -126,6 +132,8 @@ class FetchRouter:
             return None
         self.selector.note_complete(peer, self.env.now - started)
         self.peer_hits += 1
+        self.peer_hits_by_target[peer] = \
+            self.peer_hits_by_target.get(peer, 0) + 1
         self._m_peer_hits.inc()
         self._m_hit_ratio.set(self.peer_hit_ratio)
         self.telemetry.provenance.note_fetch(

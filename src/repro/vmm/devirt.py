@@ -84,3 +84,24 @@ class Devirtualizer:
     def residual_vmx(self) -> bool:
         """True if CPUs are still in VMX mode after de-virtualization."""
         return any(cpu.mode is not VmxMode.OFF for cpu in self.machine.cpus)
+
+
+def reset_virtualization(machine, management_nic_slot: int | None = None):
+    """Return a machine's virtualization state to cold bare metal.
+
+    The reclaim path (repro.ctl) re-takes control of a node once its
+    guest epoch ends.  A ``resident``-mode node still carries the
+    dormant VMM: its CPUs sit in VMX with the management NIC hidden, so
+    re-virtualization is just re-arming what never left — VMXOFF the
+    CPUs so the next deployment's VMM can VMXON afresh, un-hide the
+    NIC, and leave nested paging disabled.  A fully de-virtualized node
+    is already in this state; the call is then a no-op.  Mirrors step 4
+    of :class:`Devirtualizer`, but driven from outside a running VMM.
+    """
+    for cpu in machine.cpus:
+        if cpu.mode is not VmxMode.OFF:
+            cpu.vmxoff()
+        cpu.npt.disable()
+    if management_nic_slot is not None \
+            and machine.pci.is_hidden(management_nic_slot):
+        machine.pci.unhide(management_nic_slot)
