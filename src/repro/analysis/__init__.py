@@ -1,10 +1,16 @@
 """repro.analysis — correctness tooling for the simulator.
 
-Two halves:
+Three layers:
 
 * **simlint** (:mod:`repro.analysis.lint` + ``rules``) — a static
   AST pass over ``src/repro`` enforcing determinism and architecture
-  rules.  Run it as ``repro lint`` or ``python -m repro.analysis``.
+  rules, one module at a time.  Run it as ``repro lint`` or
+  ``python -m repro.analysis``.
+* **simcheck** (:mod:`repro.analysis.simcheck`) — whole-program
+  static analysis layered above simlint: call-graph determinism
+  taint, process discipline, shared-state race candidates, FSM model
+  extraction, and import layering.  Run it as ``repro check`` or
+  ``python -m repro.analysis --check``.
 * **runtime sanitizers** (:mod:`repro.analysis.sanitizers` and
   friends) — opt-in checkers attached to a live deployment:
   the disk write-race detector, the bitmap↔disk consistency checker,
@@ -13,7 +19,7 @@ Two halves:
   ``provisioner.deploy(..., sanitizers=suite)`` or the CLI's
   ``repro deploy --sanitize``.
 
-See ``docs/analysis.md`` for the rule catalog and extension guide.
+See ``docs/analysis.md`` for the rule catalogs and extension guide.
 """
 
 from repro.analysis.aoe_conformance import AoeConformanceValidator
@@ -35,12 +41,22 @@ from repro.analysis.sanitizers import (
     SanitizerSuite,
     Violation,
 )
+from repro.analysis.simcheck import (
+    CheckReport,
+    ProjectModel,
+    build_model,
+    run_check,
+)
 from repro.analysis.write_race import WriteRaceDetector
 
 __all__ = [
     "AoeConformanceValidator",
     "BitmapDiskChecker",
+    "CheckReport",
     "Finding",
+    "ProjectModel",
+    "build_model",
+    "run_check",
     "ReplayRecorder",
     "ReplayReport",
     "Sanitizer",

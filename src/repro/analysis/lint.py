@@ -30,9 +30,15 @@ from pathlib import Path
 SEVERITY_ERROR = "error"
 SEVERITY_WARNING = "warning"
 
-#: ``# simlint: ignore`` or ``# simlint: ignore[SIM001, SIM004]``.
-_SUPPRESSION = re.compile(
-    r"#\s*simlint:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?")
+#: ``# <tool>: ignore``, ``# <tool>: ignore[SIM001, SIM004]`` (multiple
+#: ids), and the ``ignore-next-line`` forms of both, which suppress the
+#: line *below* the comment — for findings on lines too long to carry a
+#: trailing marker.  ``{tool}`` is substituted per linter so simcheck
+#: shares the grammar under its own prefix.
+_SUPPRESSION_TEMPLATE = (
+    r"#\s*{tool}:\s*ignore(?P<next>-next-line)?"
+    r"(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?")
+_SUPPRESSION = re.compile(_SUPPRESSION_TEMPLATE.format(tool="simlint"))
 
 
 @dataclass(frozen=True)
@@ -120,20 +126,38 @@ def _dotted_chain(node: ast.expr) -> list[str] | None:
     return None
 
 
-def _parse_suppressions(source: str) -> dict[int, set[str]]:
+def _parse_suppressions(source: str,
+                        pattern: re.Pattern = _SUPPRESSION
+                        ) -> dict[int, set[str]]:
+    """Suppressed line -> rule-id set (``"*"`` = every rule).
+
+    ``ignore-next-line`` anchors the suppression one line down; both
+    forms accept a bracketed multi-id list.  A same-line and a
+    next-line marker landing on the same line merge their rule sets.
+    """
     table: dict[int, set[str]] = {}
     for number, text in enumerate(source.splitlines(), start=1):
-        match = _SUPPRESSION.search(text)
+        match = pattern.search(text)
         if match is None:
             continue
         listed = match.group("rules")
         if listed is None:
-            table[number] = {"*"}
+            rules = {"*"}
         else:
-            table[number] = {rule.strip().upper()
-                             for rule in listed.split(",")
-                             if rule.strip()}
+            rules = {rule.strip().upper()
+                     for rule in listed.split(",")
+                     if rule.strip()}
+            if not rules:
+                rules = {"*"}
+        target = number + 1 if match.group("next") else number
+        table.setdefault(target, set()).update(rules)
     return table
+
+
+def suppression_table(source: str, tool: str) -> dict[int, set[str]]:
+    """The suppression grammar under another tool prefix (simcheck)."""
+    return _parse_suppressions(
+        source, re.compile(_SUPPRESSION_TEMPLATE.format(tool=tool)))
 
 
 # -- rule registry ------------------------------------------------------------

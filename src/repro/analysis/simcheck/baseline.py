@@ -1,0 +1,118 @@
+"""The committed simcheck baseline: grandfathered findings.
+
+A whole-program pass lands on an existing codebase with existing
+findings; the baseline file lets the gate be strict for *new* code
+while the backlog is burned down deliberately.  Entries are matched by
+``(code, normalized path, stripped source line)`` — not line numbers —
+so unrelated edits above a grandfathered finding do not invalidate it,
+while any edit to the offending line itself surfaces the finding
+again.
+
+``--write-baseline`` regenerates the file from the current run,
+preserving the justification of every entry that still matches and
+dropping entries whose finding no longer exists (the expire half of
+the round trip).  Stale entries are reported on every run so the file
+cannot quietly rot.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+BASELINE_VERSION = 1
+DEFAULT_JUSTIFICATION = "grandfathered at baseline creation"
+
+
+def normalize_path(path: str) -> str:
+    """Stable repo-relative form: the suffix from the last ``repro``
+    path component (``src/repro/x.py`` and ``/abs/src/repro/x.py``
+    normalize identically); the bare filename otherwise."""
+    parts = Path(path).as_posix().split("/")
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return "/".join(parts[index:])
+    return parts[-1]
+
+
+@dataclass
+class BaselineEntry:
+    code: str
+    path: str
+    context: str
+    justification: str = DEFAULT_JUSTIFICATION
+
+    @property
+    def key(self) -> tuple:
+        return (self.code, self.path, self.context)
+
+
+class Baseline:
+    """Grandfathered findings, keyed by (code, path, context line)."""
+
+    def __init__(self, entries=()):
+        self.entries = list(entries)
+        self._matched: set[tuple] = set()
+
+    @classmethod
+    def load(cls, path) -> "Baseline":
+        file = Path(path)
+        if not file.exists():
+            return cls()
+        payload = json.loads(file.read_text(encoding="utf-8"))
+        entries = [
+            BaselineEntry(
+                code=item["code"], path=item["path"],
+                context=item["context"],
+                justification=item.get("justification",
+                                       DEFAULT_JUSTIFICATION))
+            for item in payload.get("findings", ())
+        ]
+        return cls(entries)
+
+    def matches(self, finding, context: str) -> bool:
+        """True (and marks the entry used) when grandfathered."""
+        key = (finding.rule, normalize_path(finding.path),
+               context.strip())
+        for entry in self.entries:
+            if entry.key == key:
+                self._matched.add(key)
+                return True
+        return False
+
+    def stale_entries(self) -> list:
+        """Entries that matched nothing in the run just applied."""
+        return [entry for entry in self.entries
+                if entry.key not in self._matched]
+
+    def write(self, path, findings, context_of) -> int:
+        """Regenerate the file from ``findings``; returns entry count.
+
+        Justifications of still-matching entries carry over; entries
+        without a surviving finding expire.
+        """
+        kept: dict[tuple, BaselineEntry] = {}
+        existing = {entry.key: entry for entry in self.entries}
+        for finding in findings:
+            entry = BaselineEntry(
+                code=finding.rule,
+                path=normalize_path(finding.path),
+                context=context_of(finding).strip())
+            previous = existing.get(entry.key)
+            if previous is not None:
+                entry.justification = previous.justification
+            kept.setdefault(entry.key, entry)
+        payload = {
+            "version": BASELINE_VERSION,
+            "findings": [
+                {"code": entry.code, "path": entry.path,
+                 "context": entry.context,
+                 "justification": entry.justification}
+                for _, entry in sorted(kept.items())
+            ],
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+        return len(kept)

@@ -1,0 +1,259 @@
+"""FSM model extraction and spec checking (CHECK030-034).
+
+A module declares its protocol with a ``SIMCHECK_FSM`` literal (names
+resolve through module constants, so specs can reuse the state
+constants the code itself uses)::
+
+    SIMCHECK_FSM = {
+        "name": "node-lifecycle",
+        "initial": FREE,
+        "recovery": FAILED,          # optional: failure-edge target
+        "states": STATES,
+        "transitions": {FREE: (NETBOOTING,), ...},
+        "terminal": (),              # states allowed to have no exits
+        "extract": {...},            # how to recover the implementation
+    }
+
+The *spec* says what the protocol should be; the *extractor* recovers
+what the code actually implements, and the pass diffs the two — so the
+declared model can never drift from the implementation unnoticed.
+
+Two extractors:
+
+* ``transitions-literal`` — the implementation is itself a transition
+  table (``repro.ctl.lifecycle.TRANSITIONS``); recover it from the
+  resolved module constants.
+* ``claim-methods`` — the implementation is a class whose methods
+  mutate a claimed-set and a filled-map (``BlockBitmap``); recover the
+  transition relation from which collections each method mutates and
+  whether it raises on an unclaimed block.
+
+On top of the diff, the pass checks the spec's own shape: every state
+reachable from the initial state, no dead states outside ``terminal``,
+and (when ``recovery`` is declared) a recovery edge from every
+intermediate state.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.lint import SEVERITY_ERROR, Finding
+from repro.analysis.simcheck.model import ModuleSummary, ProjectModel
+
+CHECK_MISSING_EDGE = "CHECK030"
+CHECK_UNDECLARED_EDGE = "CHECK031"
+CHECK_BAD_STATE = "CHECK032"
+CHECK_NO_RECOVERY = "CHECK033"
+CHECK_SPEC_BROKEN = "CHECK034"
+
+_REQUIRED_KEYS = ("name", "initial", "states", "transitions", "extract")
+
+
+def check_fsms(model: ProjectModel):
+    """(findings, coverage reports) over every declared FSM spec."""
+    findings: list[Finding] = []
+    reports: list[dict] = []
+    for summary in model.summaries:
+        if summary.fsm_spec is None:
+            continue
+        findings_before = len(findings)
+        report = _check_one(summary, model, findings)
+        if report is not None:
+            report["findings"] = len(findings) - findings_before
+            reports.append(report)
+    return findings, reports
+
+
+def _spec_finding(summary: ModuleSummary, code: str,
+                  message: str) -> Finding:
+    return Finding(summary.path, summary.fsm_spec_line or 1, 0,
+                   code, SEVERITY_ERROR, message)
+
+
+def _check_one(summary: ModuleSummary, model: ProjectModel,
+               findings: list) -> dict | None:
+    spec = summary.fsm_spec
+    missing = [key for key in _REQUIRED_KEYS if key not in spec]
+    if missing:
+        findings.append(_spec_finding(
+            summary, CHECK_SPEC_BROKEN,
+            f"SIMCHECK_FSM is missing required key(s): "
+            f"{', '.join(missing)}"))
+        return None
+    name = spec["name"]
+    states = list(spec["states"])
+    declared = {state: tuple(targets) for state, targets
+                in spec["transitions"].items()}
+    terminal = set(spec.get("terminal", ()))
+    _check_shape(summary, spec, states, declared, terminal, findings)
+    extracted = _extract(summary, model, spec, findings)
+    if extracted is None:
+        return {"name": name, "module": summary.module,
+                "covered": 0, "total": _edge_count(declared),
+                "extracted": 0}
+    spec_edges = {(state, target) for state, targets in declared.items()
+                  for target in targets}
+    got_edges = set(extracted)
+    for state, target in sorted(spec_edges - got_edges):
+        findings.append(_spec_finding(
+            summary, CHECK_MISSING_EDGE,
+            f"FSM {name!r}: declared transition {state!r} -> "
+            f"{target!r} was not found in the implementation"))
+    for state, target in sorted(got_edges - spec_edges):
+        findings.append(_spec_finding(
+            summary, CHECK_UNDECLARED_EDGE,
+            f"FSM {name!r}: implementation has transition {state!r} "
+            f"-> {target!r} that the spec does not declare"))
+    return {
+        "name": name,
+        "module": summary.module,
+        "covered": len(spec_edges & got_edges),
+        "total": len(spec_edges),
+        "extracted": len(got_edges),
+    }
+
+
+def _edge_count(declared: dict) -> int:
+    return sum(len(targets) for targets in declared.values())
+
+
+def _check_shape(summary, spec, states, declared, terminal,
+                 findings) -> bool:
+    """Reachability, dead states, and recovery edges on the spec graph."""
+    name = spec["name"]
+    ok = True
+    initial = spec["initial"]
+    if initial not in states:
+        findings.append(_spec_finding(
+            summary, CHECK_SPEC_BROKEN,
+            f"FSM {name!r}: initial state {initial!r} is not in "
+            f"states"))
+        return False
+    undeclared = sorted(
+        {state for state in declared if state not in states}
+        | {target for targets in declared.values()
+           for target in targets if target not in states})
+    for state in undeclared:
+        ok = False
+        findings.append(_spec_finding(
+            summary, CHECK_SPEC_BROKEN,
+            f"FSM {name!r}: transition table references state "
+            f"{state!r} that is not declared in states"))
+    # Reachability from the initial state.
+    reachable = {initial}
+    frontier = [initial]
+    while frontier:
+        state = frontier.pop()
+        for target in declared.get(state, ()):
+            if target not in reachable:
+                reachable.add(target)
+                frontier.append(target)
+    for state in states:
+        if state not in reachable:
+            ok = False
+            findings.append(_spec_finding(
+                summary, CHECK_BAD_STATE,
+                f"FSM {name!r}: state {state!r} is unreachable from "
+                f"the initial state {initial!r}"))
+        elif not declared.get(state) and state not in terminal:
+            ok = False
+            findings.append(_spec_finding(
+                summary, CHECK_BAD_STATE,
+                f"FSM {name!r}: state {state!r} is a dead end (no "
+                f"outgoing transitions) but is not declared terminal"))
+    recovery = spec.get("recovery")
+    if recovery is not None:
+        for state in states:
+            if state in (initial, recovery) or state in terminal:
+                continue
+            if recovery not in declared.get(state, ()):
+                ok = False
+                findings.append(_spec_finding(
+                    summary, CHECK_NO_RECOVERY,
+                    f"FSM {name!r}: busy state {state!r} has no edge "
+                    f"to the recovery state {recovery!r}"))
+    return ok
+
+
+# -- extractors ---------------------------------------------------------------
+
+def _extract(summary: ModuleSummary, model: ProjectModel, spec: dict,
+             findings: list):
+    config = spec["extract"]
+    kind = config.get("kind")
+    if kind == "transitions-literal":
+        return _extract_literal(summary, spec, config, findings)
+    if kind == "claim-methods":
+        return _extract_claim_methods(summary, spec, config, findings)
+    findings.append(_spec_finding(
+        summary, CHECK_SPEC_BROKEN,
+        f"FSM {spec['name']!r}: unknown extract kind {kind!r}"))
+    return None
+
+
+def _extract_literal(summary, spec, config, findings):
+    source = config.get("source", "TRANSITIONS")
+    table = summary.constants.get(source)
+    if not isinstance(table, dict):
+        findings.append(_spec_finding(
+            summary, CHECK_SPEC_BROKEN,
+            f"FSM {spec['name']!r}: could not resolve transition "
+            f"table {source!r} as a module-level dict literal"))
+        return None
+    edges = []
+    for state, targets in table.items():
+        if not isinstance(targets, tuple):
+            targets = (targets,)
+        for target in targets:
+            edges.append((state, target))
+    return edges
+
+
+def _extract_claim_methods(summary, spec, config, findings):
+    """Recover a claim protocol from which collections methods mutate.
+
+    Roles: ``states`` is ``(empty, claimed, filled)``.  A method that
+    adds to the claimed-set takes empty -> claimed; one that discards
+    from it and fills takes claimed -> filled (and, when it does *not*
+    raise on an unclaimed block, also empty -> filled: the guest-fill
+    path); discard alone is claimed -> empty; fill alone is a direct
+    empty -> filled restore.
+    """
+    class_name = config.get("class")
+    info = summary.classes.get(class_name)
+    if info is None:
+        findings.append(_spec_finding(
+            summary, CHECK_SPEC_BROKEN,
+            f"FSM {spec['name']!r}: class {class_name!r} not found in "
+            f"{summary.module}"))
+        return None
+    claimed_attr = config.get("claimed", "_copying")
+    filled_attr = config.get("filled", "_filled")
+    empty, claimed, filled = config.get(
+        "states", tuple(spec["states"])[:3])
+    edges = set()
+    for method in info.methods:
+        qualname = f"{summary.module}:{class_name}.{method}"
+        function = summary.functions.get(qualname)
+        if function is None:
+            continue
+        ops = set(function.attr_calls)
+        adds = (claimed_attr, "add") in ops
+        discards = (claimed_attr, "discard") in ops
+        fills = (filled_attr, "set_range") in ops
+        if adds:
+            edges.add((empty, claimed))
+        if discards and fills:
+            edges.add((claimed, filled))
+            if not function.has_raise:
+                edges.add((empty, filled))
+        elif discards:
+            edges.add((claimed, empty))
+        elif fills:
+            edges.add((empty, filled))
+    if not edges:
+        findings.append(_spec_finding(
+            summary, CHECK_SPEC_BROKEN,
+            f"FSM {spec['name']!r}: no transitions could be extracted "
+            f"from {class_name}.{claimed_attr}/{filled_attr} usage"))
+        return None
+    return sorted(edges)

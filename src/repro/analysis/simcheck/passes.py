@@ -1,0 +1,177 @@
+"""Interprocedural simcheck passes over the project model.
+
+Three of the five passes live here (the FSM and import-graph passes
+have their own modules):
+
+* **determinism taint** (CHECK001) — iteration over an unordered set
+  whose order can reach the event queue.  Python sets hash strings
+  with a per-process salt, so set iteration order is the one thing a
+  seeded simulation cannot replay; the replay checker catches it at
+  runtime *if the benchmark happens to execute that path* — this pass
+  proves the absence on every path.
+* **process discipline** (CHECK010/011/012) — generator misuse around
+  the engine: a generator or event constructed and discarded (nothing
+  ever runs), a process yielding a plain constant (the engine requires
+  events), and a broad ``except: pass`` inside a process generator
+  (which would swallow :class:`~repro.sim.events.Interrupt`).
+* **shared-state race candidates** (CHECK020) — an attribute written
+  by two or more distinct process functions with no claim-protocol or
+  resource-acquire call in any of the writers; the static twin of the
+  runtime write-race sanitizer.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.lint import (
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    Finding,
+)
+from repro.analysis.simcheck.model import (
+    EVENT_CONSTRUCTORS,
+    ProjectModel,
+)
+
+CHECK_DETERMINISM = "CHECK001"
+CHECK_DISCARDED = "CHECK010"
+CHECK_CONST_YIELD = "CHECK011"
+CHECK_SWALLOWED = "CHECK012"
+CHECK_SHARED_WRITE = "CHECK020"
+
+
+def _path_of(model: ProjectModel, qualname: str) -> str:
+    module = model.module_of[qualname]
+    summary = model.summary_for(module)
+    return summary.path if summary is not None else "<unknown>"
+
+
+# -- CHECK001: determinism taint ----------------------------------------------
+
+def determinism_pass(model: ProjectModel):
+    """Set iterations whose order can reach ``Environment.schedule``.
+
+    A finding needs both halves: the iterated expression is set-typed
+    (locals, parameters, ``self`` attributes, cross-class attributes
+    that are sets in every declaring class), *and* the enclosing
+    function reaches the event queue through the call graph — so a
+    pure set-membership reduction never fires.
+    """
+    for qualname in sorted(model.functions):
+        info = model.functions[qualname]
+        if qualname not in model.sink_reaching:
+            continue
+        path = _path_of(model, qualname)
+        for iteration in info.set_iterations:
+            if not iteration.body_acts:
+                continue
+            if iteration.attr is not None \
+                    and not model.set_attr_table.get(iteration.attr):
+                continue  # attribute is not a set in every declarer
+            yield Finding(
+                path, iteration.lineno, iteration.col,
+                CHECK_DETERMINISM, SEVERITY_ERROR,
+                f"iteration over unordered set "
+                f"`{iteration.describe}` in {info.name}() can reach "
+                f"event scheduling — iterate sorted(...) so replay "
+                f"is deterministic")
+
+
+# -- CHECK010/011/012: process discipline -------------------------------------
+
+def discipline_pass(model: ProjectModel):
+    yield from _discarded_generators(model)
+    yield from _const_yields(model)
+    yield from _swallowed_interrupts(model)
+
+
+def _discarded_generators(model: ProjectModel):
+    """A bare-statement call that builds a generator or an event.
+
+    ``self.copy_loop()`` on its own line constructs a generator and
+    throws it away — the classic missing ``yield from`` /
+    ``env.process`` bug, invisible at runtime because nothing fails.
+    """
+    for qualname in sorted(model.functions):
+        info = model.functions[qualname]
+        path = _path_of(model, qualname)
+        for tail, resolved, lineno, col in info.discarded_calls:
+            if tail in EVENT_CONSTRUCTORS:
+                yield Finding(
+                    path, lineno, col, CHECK_DISCARDED, SEVERITY_ERROR,
+                    f"event from {resolved}() is discarded — yield it "
+                    f"(or store it); an unawaited event never advances "
+                    f"this process")
+                continue
+            targets = model.resolve_tail(tail)
+            if targets and all(model.functions[t].is_generator
+                               for t in targets):
+                yield Finding(
+                    path, lineno, col, CHECK_DISCARDED, SEVERITY_ERROR,
+                    f"call to generator {tail}() discards the "
+                    f"generator — nothing runs; use `yield from` or "
+                    f"spawn it with env.process(...)")
+
+
+def _const_yields(model: ProjectModel):
+    """``yield 5`` inside a function that runs as a sim process."""
+    for qualname in sorted(model.process_functions):
+        info = model.functions[qualname]
+        path = _path_of(model, qualname)
+        for lineno, col, value in info.const_yields:
+            yield Finding(
+                path, lineno, col, CHECK_CONST_YIELD, SEVERITY_ERROR,
+                f"process generator {info.name}() yields the constant "
+                f"{value} — the engine resumes only on Events "
+                f"(env.timeout, env.event, another process)")
+
+
+def _swallowed_interrupts(model: ProjectModel):
+    """Broad ``except: pass`` inside a process generator."""
+    for qualname in sorted(model.process_functions):
+        info = model.functions[qualname]
+        path = _path_of(model, qualname)
+        for lineno, col in info.swallowed_excepts:
+            yield Finding(
+                path, lineno, col, CHECK_SWALLOWED, SEVERITY_WARNING,
+                f"broad except-and-pass in process generator "
+                f"{info.name}() also swallows Interrupt — catch the "
+                f"specific exception or re-raise Interrupt")
+
+
+# -- CHECK020: shared-state race candidates -----------------------------------
+
+def shared_state_pass(model: ProjectModel):
+    """Attributes written from >= 2 process functions, no claim calls.
+
+    Simultaneous events keep FIFO order, so these are *candidates*,
+    not proven races — but every lost-update bug the write-race
+    sanitizer can catch at runtime starts as exactly this shape.
+    One finding per (class, attribute), anchored at the first write.
+    """
+    writers: dict[tuple[str, str, str], list] = {}
+    for qualname in sorted(model.process_functions):
+        info = model.functions[qualname]
+        if info.cls is None:
+            continue
+        module = model.module_of[qualname]
+        for attr, lineno, col in info.attr_writes:
+            key = (module, info.cls, attr)
+            writers.setdefault(key, []).append(
+                (qualname, lineno, col))
+    for (module, cls, attr), sites in sorted(writers.items()):
+        functions = sorted({qualname for qualname, _, _ in sites})
+        if len(functions) < 2:
+            continue
+        if any(model.functions[qualname].claims
+               for qualname in functions):
+            continue
+        qualname, lineno, col = min(sites, key=lambda s: (s[1], s[2]))
+        names = ", ".join(model.functions[f].name + "()"
+                          for f in functions)
+        path = _path_of(model, qualname)
+        yield Finding(
+            path, lineno, col, CHECK_SHARED_WRITE, SEVERITY_WARNING,
+            f"{cls}.{attr} is written from {len(functions)} distinct "
+            f"process functions ({names}) with no claim-protocol or "
+            f"resource-acquire call on any path — lost-update "
+            f"candidate (static twin of the write-race sanitizer)")

@@ -1,0 +1,76 @@
+"""SARIF 2.1.0 export for simcheck findings (CI code-scanning upload)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+
+def sarif_document(findings, catalog, tool_version: str) -> dict:
+    """One-run SARIF document for ``findings``.
+
+    ``catalog`` is the ordered CHECK-code table from the engine
+    (code -> (rank, severity, summary)); every code becomes a driver
+    rule so viewers can render the catalog even for clean runs.
+    """
+    codes = list(catalog)
+    rules = [
+        {
+            "id": code,
+            "shortDescription": {"text": catalog[code][2]},
+            "defaultConfiguration": {
+                "level": catalog[code][1],
+            },
+        }
+        for code in codes
+    ]
+    results = [
+        {
+            "ruleId": finding.rule,
+            "ruleIndex": codes.index(finding.rule)
+            if finding.rule in codes else -1,
+            "level": finding.severity,
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": Path(finding.path).as_posix(),
+                        },
+                        "region": {
+                            "startLine": max(finding.line, 1),
+                            "startColumn": finding.col + 1,
+                        },
+                    },
+                }
+            ],
+        }
+        for finding in findings
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "simcheck",
+                        "version": tool_version,
+                        "rules": rules,
+                    },
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def write_sarif(path, findings, catalog, tool_version: str) -> dict:
+    document = sarif_document(findings, catalog, tool_version)
+    Path(path).write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+    return document

@@ -17,6 +17,9 @@ Commands:
 * ``profile``   — deploy with forensics on and print the sim-time
   profile and critical-path latency budget.
 * ``lint``      — run simlint (repro.analysis) over the source tree.
+* ``check``     — run simcheck, the whole-program static analysis
+  (call-graph determinism taint, process discipline, race candidates,
+  FSM spec checking, import layering).
 * ``info``      — the calibrated testbed constants.
 
 ``deploy`` and ``scaleout`` accept ``--sanitize`` to run with every
@@ -226,6 +229,26 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="files or directories (default: src/repro)")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalog and exit")
+
+    check = sub.add_parser(
+        "check", help="run simcheck whole-program analysis")
+    check.add_argument("paths", nargs="*", default=["src/repro"],
+                       help="files or directories (default: src/repro)")
+    check.add_argument("--sarif", metavar="FILE",
+                       help="also write findings as SARIF 2.1.0")
+    check.add_argument("--baseline", metavar="FILE",
+                       help="baseline file (default: "
+                       "simcheck.baseline.json)")
+    check.add_argument("--no-baseline", action="store_true",
+                       help="ignore the baseline file")
+    check.add_argument("--write-baseline", action="store_true",
+                       help="regenerate the baseline from this run")
+    check.add_argument("--no-cache", action="store_true",
+                       help="parse everything fresh, write no cache")
+    check.add_argument("--strict", action="store_true",
+                       help="exit non-zero on warnings too")
+    check.add_argument("--list-checks", action="store_true",
+                       help="print the CHECK code catalog and exit")
 
     sub.add_parser("info", help="print testbed calibration")
     return parser
@@ -474,6 +497,20 @@ def cmd_lint(args) -> int:
     return lint_main(argv)
 
 
+def cmd_check(args) -> int:
+    from repro.analysis.simcheck.engine import main as check_main
+    argv = list(args.paths or ["src/repro"])
+    if args.sarif:
+        argv += ["--sarif", args.sarif]
+    if args.baseline:
+        argv += ["--baseline", args.baseline]
+    for flag in ("no_baseline", "write_baseline", "no_cache",
+                 "strict", "list_checks"):
+        if getattr(args, flag):
+            argv.append("--" + flag.replace("_", "-"))
+    return check_main(argv)
+
+
 def cmd_compare(args) -> int:
     rows = []
     exports = []
@@ -683,6 +720,7 @@ def main(argv=None) -> int:
         "trace": cmd_trace,
         "profile": cmd_profile,
         "lint": cmd_lint,
+        "check": cmd_check,
         "info": cmd_info,
     }[args.command]
     return handler(args)

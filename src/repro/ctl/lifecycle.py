@@ -69,6 +69,29 @@ TRANSITIONS = {
     FAILED: (SCRUBBING,),
 }
 
+#: Declared protocol model for ``repro check``'s FSM pass.  The edge
+#: list is written out independently of ``TRANSITIONS`` on purpose:
+#: the checker extracts the implementation table and diffs it against
+#: this spec, so an edit to either one alone fails the check.  The
+#: spec graph itself is also checked for reachability, dead states,
+#: and a recovery edge out of every busy state.
+SIMCHECK_FSM = {
+    "name": "node-lifecycle",
+    "initial": FREE,
+    "recovery": FAILED,
+    "states": STATES,
+    "transitions": {
+        FREE: (NETBOOTING,),
+        NETBOOTING: (DEPLOYING, FAILED),
+        DEPLOYING: (READY, FAILED),
+        READY: (DRAINING, FAILED),
+        DRAINING: (SCRUBBING, FAILED),
+        SCRUBBING: (FREE, FAILED),
+        FAILED: (SCRUBBING,),
+    },
+    "extract": {"kind": "transitions-literal", "source": "TRANSITIONS"},
+}
+
 #: Re-arming the dormant resident VMM: reinstall intercepts and
 #: re-protect its (still reserved) memory — no firmware, no PXE.
 RESIDENT_REARM_SECONDS = 0.5

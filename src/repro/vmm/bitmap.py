@@ -26,6 +26,34 @@ class BlockState(enum.Enum):
     FILLED = "filled"     # local disk is authoritative
 
 
+#: Declared claim protocol for ``repro check``'s FSM pass.  The
+#: checker recovers the implemented transition relation from how
+#: ``BlockBitmap``'s methods mutate the claimed-set and the filled-map
+#: (``try_claim`` adds -> EMPTY->COPYING; ``commit_fill`` discards,
+#: fills and raises on unclaimed -> COPYING->FILLED;
+#: ``record_guest_write`` also fills unclaimed blocks ->
+#: EMPTY->FILLED; ``release_claim`` discards -> COPYING->EMPTY) and
+#: diffs it against this spec.
+SIMCHECK_FSM = {
+    "name": "block-claim",
+    "initial": "empty",
+    "states": ("empty", "copying", "filled"),
+    "transitions": {
+        "empty": ("copying", "filled"),
+        "copying": ("filled", "empty"),
+        "filled": (),
+    },
+    "terminal": ("filled",),
+    "extract": {
+        "kind": "claim-methods",
+        "class": "BlockBitmap",
+        "claimed": "_copying",
+        "filled": "_filled",
+        "states": ("empty", "copying", "filled"),
+    },
+}
+
+
 class BlockBitmap:
     """Per-block deployment state plus the sector-granular dirty overlay."""
 

@@ -195,6 +195,70 @@ def test_suppression_for_other_rule_does_not_apply():
     assert "SIM001" in rules_of(results)
 
 
+def test_multi_rule_suppression():
+    results = findings("""
+        import time
+        import threading  # simlint: ignore[SIM001,SIM006]
+        def now():
+            return time.time()
+    """)
+    # Both ids on the comment line suppress; the uncommented call does
+    # not.
+    assert rules_of(results) == ["SIM001"]
+
+
+def test_multi_rule_suppression_with_spaces():
+    results = findings("""
+        import time
+        def now():
+            return time.time()  # simlint: ignore[SIM001, SIM006]
+    """)
+    assert results == []
+
+
+def test_ignore_next_line_suppresses_the_next_line():
+    results = findings("""
+        import time
+        def now():
+            # simlint: ignore-next-line[SIM001] -- test clock
+            return time.time()
+    """)
+    assert results == []
+
+
+def test_ignore_next_line_does_not_suppress_its_own_line():
+    results = findings("""
+        import time
+        def now():
+            return time.time()  # simlint: ignore-next-line[SIM001]
+    """)
+    assert "SIM001" in rules_of(results)
+
+
+def test_bare_ignore_next_line():
+    results = findings("""
+        # simlint: ignore-next-line
+        import threading
+    """)
+    assert results == []
+
+
+def test_suppression_table_for_other_tool_prefix():
+    from repro.analysis.lint import suppression_table
+
+    source = textwrap.dedent("""
+        x = 1  # simcheck: ignore[CHECK001]
+        # simcheck: ignore-next-line[CHECK020,CHECK050]
+        y = 2
+        z = 3  # simlint: ignore[SIM001]
+    """)
+    table = suppression_table(source, "simcheck")
+    assert table[2] == {"CHECK001"}
+    assert table[4] == {"CHECK020", "CHECK050"}
+    # The simlint-prefixed comment does not leak into simcheck's table.
+    assert 5 not in table
+
+
 # -- framework ----------------------------------------------------------------
 
 def test_syntax_error_becomes_finding():
