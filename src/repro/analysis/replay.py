@@ -90,7 +90,8 @@ def deployment_scenario(image_factory, node_count: int = 1,
                         loss_probability: float = 0.0,
                         wave_size: int | None = None,
                         policy=None, wait: bool = True,
-                        telemetry_factory=None):
+                        telemetry_factory=None,
+                        fast_lane: bool = True):
     """A canned scenario callable for :func:`check_replay`.
 
     ``image_factory`` is a zero-argument callable returning a fresh
@@ -100,14 +101,17 @@ def deployment_scenario(image_factory, node_count: int = 1,
     (a callable ``env -> telemetry``) arms telemetry for each run —
     comparing digests of a plain scenario against one with forensics
     enabled is how the observability layer proves it does not perturb
-    the timeline.
+    the timeline.  ``fast_lane=False`` runs on the pure-heap reference
+    scheduler — comparing digests of a fast-lane run against a
+    reference run is how the kernel fast path proves it reorders
+    nothing (see ``docs/performance.md``).
     """
     from repro.cloud import Cluster, WaveScheduler, build_testbed
     from repro.obs.telemetry import NULL_TELEMETRY
     from repro.sim import Environment
 
     def scenario(recorder: ReplayRecorder) -> None:
-        env = Environment()
+        env = Environment(fast_lane=fast_lane)
         telemetry = NULL_TELEMETRY if telemetry_factory is None \
             else telemetry_factory(env)
         testbed = build_testbed(node_count=node_count,

@@ -211,6 +211,11 @@ class LayeringRule(Rule):
         "vmm": 6,
         "cloud": 7, "baselines": 7, "apps": 7,
         "ctl": 8,
+        # The sweep runner (perf) fans whole scenarios — ctl loops,
+        # wave deployments — across worker processes, so it sits with
+        # the tooling layer: it may import anything, nothing imports it
+        # back except the CLI.
+        "perf": 9,
         "cli": 9, "analysis": 9, "__main__": 9,
         # The package root re-exports the public API; it sees everything.
         "repro": 9,

@@ -41,6 +41,9 @@ class AoeNakError(Exception):
 
 
 class _Transaction:
+    __slots__ = ("command", "target", "protocol", "done", "reassembly",
+                 "sent_at", "last_activity", "retries", "nak")
+
     def __init__(self, env: Environment, command: AoeCommand,
                  target: str, protocol: str):
         self.command = command
@@ -333,7 +336,8 @@ class AoeInitiator:
 
     def _poll_quantize(self):
         """Completion is observed at the next VMM polling tick."""
+        # Yield-only, one per AoE operation: safe to pool.
         if self.poll_interval > 0:
-            yield self.env.timeout(self.poll_interval / 2.0)
+            yield self.env.pooled_timeout(self.poll_interval / 2.0)
         else:
-            yield self.env.timeout(0)
+            yield self.env.pooled_timeout(0)

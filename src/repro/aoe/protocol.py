@@ -30,7 +30,7 @@ def fragment_count(sector_count: int, mtu: int) -> int:
     return (sector_count + per_frame - 1) // per_frame
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AoeCommand:
     """Initiator -> server ATA command."""
 
@@ -58,7 +58,7 @@ class AoeCommand:
         return self.header_bytes
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AoeDataFragment:
     """One fragment of a transfer (server->initiator for reads,
     initiator->server for writes)."""
@@ -76,7 +76,7 @@ class AoeDataFragment:
                 + self.sector_count * params.SECTOR_BYTES)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AoeAck:
     """Server -> initiator completion for writes."""
 
@@ -87,7 +87,7 @@ class AoeAck:
         return params.AOE_HEADER_BYTES
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AoeNak:
     """Responder -> initiator refusal.
 
@@ -105,7 +105,7 @@ class AoeNak:
         return params.AOE_HEADER_BYTES
 
 
-@dataclass
+@dataclass(slots=True)
 class ReassemblyBuffer:
     """Collects fragments of one read reply, tolerant of duplicates."""
 

@@ -67,7 +67,7 @@ class ImageStore:
             is_hit = (self._request_index % round(period)) != 0
         base = self.hit_seconds if is_hit else self.miss_seconds
         transfer = sector_count * params.SECTOR_BYTES / self.bandwidth
-        yield self.env.timeout(base + transfer)
+        yield self.env.pooled_timeout(base + transfer)
         return list(self.contents.runs_in(lba, sector_count))
 
     def write(self, lba: int, runs: list):
@@ -191,13 +191,19 @@ class AoeServer:
             return
         fragments = split_read_reply(command.tag, command.lba, runs,
                                      self.mtu)
+        # Hot path — hoisted lookups and pooled per-frame CPU timeouts.
+        env = self.env
+        nic_send = self.nic.send
+        per_frame_cpu = self.PER_FRAME_CPU_SECONDS
+        protocol = self.PROTOCOL
+        m_fragments_inc = self._m_fragments.inc
         for fragment in fragments:
-            yield self.env.timeout(self.PER_FRAME_CPU_SECONDS)
-            yield from self.nic.send(reply_to, fragment,
-                                     fragment.payload_bytes,
-                                     protocol=self.PROTOCOL)
+            yield env.pooled_timeout(per_frame_cpu)
+            yield from nic_send(reply_to, fragment,
+                                fragment.payload_bytes,
+                                protocol=protocol)
             self.fragments_sent += 1
-            self._m_fragments.inc()
+            m_fragments_inc()
 
     def _serve_read_bulk(self, command: AoeCommand, reply_to: str,
                          runs: list):
@@ -207,7 +213,7 @@ class AoeServer:
         per_frame_payload = sectors_per_frame(self.mtu) \
             * params.SECTOR_BYTES + params.AOE_HEADER_BYTES
         frames = max(1, -(-payload_bytes // per_frame_payload))
-        yield self.env.timeout(frames * self.PER_FRAME_CPU_SECONDS)
+        yield self.env.pooled_timeout(frames * self.PER_FRAME_CPU_SECONDS)
         fragment = AoeDataFragment(
             tag=command.tag, fragment_index=0, fragment_total=1,
             lba=command.lba, sector_count=command.sector_count,

@@ -10,7 +10,10 @@ Commands:
 * ``ctl``       — run the elastic control plane: a demand curve drives
   an autoscaler that deploys and reclaims bare-metal nodes
   (see docs/control_plane.md).
-* ``sweep``     — the moderation write-interval sweep (Figure 14 shape).
+* ``sweep``     — parallel parameter sweeps (``repro.perf``): the
+  moderation write-interval sweep (Figure 14 shape) or an autoscaler
+  policy x demand x node-count grid, fanned across ``--jobs`` worker
+  processes with byte-identical merged output.
 * ``metrics``   — deploy once with telemetry on and print the summary.
 * ``trace``     — deploy with forensics on and write a Chrome-trace
   JSON (open in ``chrome://tracing`` / Perfetto).
@@ -50,7 +53,6 @@ from repro.guest.osimage import OsImage
 from repro.metrics.report import format_table
 from repro.obs import NULL_TELEMETRY, Telemetry
 from repro.sim import Environment
-from repro.vmm.moderation import interval_sweep_policy
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -179,8 +181,35 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="arm the forensics layer and write all "
                          "runs into one Chrome-trace JSON")
 
-    sweep = sub.add_parser("sweep", help="moderation interval sweep")
-    sweep.add_argument("--image-gb", type=float, default=2.0)
+    sweep = sub.add_parser(
+        "sweep", help="parallel parameter sweep (repro.perf)")
+    sweep.add_argument("--kind", choices=("moderation", "ctl"),
+                       default="moderation",
+                       help="moderation: write-interval sweep (Figure "
+                       "14 shape); ctl: policy x demand x node-count "
+                       "autoscaler grid")
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (default 1; the output "
+                       "is byte-identical for any value)")
+    sweep.add_argument("--seed", type=int, default=20150314,
+                       help="parent seed; each grid point derives its "
+                       "own from seed + parameter key")
+    sweep.add_argument("--out", metavar="FILE",
+                       help="write the merged sweep document as JSON")
+    sweep.add_argument("--image-gb", type=float, default=None,
+                       help="OS image size (default 2 for moderation, "
+                       "0.0625 for ctl)")
+    sweep.add_argument("--intervals", default="1.0,0.1,0.01,0.001,0.0",
+                       help="moderation: comma list of VMM write "
+                       "intervals in seconds")
+    sweep.add_argument("--policies", default="reactive,headroom",
+                       help="ctl: comma list of autoscaler policies")
+    sweep.add_argument("--demands", default="flash-crowd",
+                       help="ctl: comma list of demand models")
+    sweep.add_argument("--node-counts", default="6",
+                       help="ctl: comma list of fleet sizes")
+    sweep.add_argument("--duration", type=float, default=900.0,
+                       help="ctl: control-loop run time in sim seconds")
 
     metrics = sub.add_parser(
         "metrics", help="deploy with telemetry on and print the summary")
@@ -652,36 +681,61 @@ def cmd_profile(args) -> int:
 
 
 def cmd_sweep(args) -> int:
-    from repro.apps.fio import FioBenchmark
-    rows = []
-    for interval in (1.0, 0.1, 0.01, 1e-3, 0.0):
-        testbed = build_testbed(image=_image(args.image_gb))
-        provisioner = Provisioner(testbed)
-        env = testbed.env
-        instance = env.run(until=env.process(provisioner.deploy(
-            "bmcast", skip_firmware=True,
-            policy=interval_sweep_policy(interval))))
-        vmm = instance.platform
-        fio = FioBenchmark(instance)
-        fio.TOTAL_BYTES = 128 * 2**20
-        holder = {}
+    """Fan a parameter grid across a worker pool (repro.perf)."""
+    from repro.perf import SweepSpec, run_sweep, sweep_to_json
 
-        def measure():
-            yield from fio.layout()
-            before = vmm.copier.bytes_written + vmm.copier.writeback_bytes
-            start = env.now
-            holder["guest"] = yield from fio.read_throughput()
-            vmm_bytes = (vmm.copier.bytes_written
-                         + vmm.copier.writeback_bytes - before)
-            holder["vmm"] = vmm_bytes / (env.now - start)
+    if args.kind == "moderation":
+        image_gb = args.image_gb if args.image_gb is not None else 2.0
+        spec = SweepSpec(
+            kind="moderation",
+            axes={"write_interval":
+                  tuple(float(value)
+                        for value in args.intervals.split(","))},
+            parent_seed=args.seed,
+            fixed={"image_mb": int(image_gb * 1024), "fio_mb": 128})
+    else:
+        image_gb = args.image_gb if args.image_gb is not None else 0.0625
+        spec = SweepSpec(
+            kind="ctl",
+            axes={"policy": tuple(args.policies.split(",")),
+                  "demand": tuple(args.demands.split(",")),
+                  "nodes": tuple(int(value) for value
+                                 in args.node_counts.split(","))},
+            parent_seed=args.seed,
+            fixed={"image_mb": int(image_gb * 1024),
+                   "duration": args.duration})
+    result = run_sweep(spec, jobs=args.jobs)
 
-        env.run(until=env.process(measure()))
-        label = "full-speed" if interval == 0 else f"{interval:g}s"
-        rows.append([label, round(holder["guest"] / 1e6, 1),
-                     round(holder["vmm"] / 1e6, 1)])
-    print(format_table(
-        ["VMM write interval", "guest read MB/s", "VMM write MB/s"],
-        rows, title="Moderation sweep (Figure 14 shape)"))
+    if args.kind == "moderation":
+        rows = [
+            ["full-speed" if run["params"]["write_interval"] == 0
+             else f"{run['params']['write_interval']:g}s",
+             round(run["figures"]["guest_read_mbps"], 1),
+             round(run["figures"]["vmm_write_mbps"], 1)]
+            for run in result["runs"]
+        ]
+        print(format_table(
+            ["VMM write interval", "guest read MB/s", "VMM write MB/s"],
+            rows, title="Moderation sweep (Figure 14 shape)"))
+    else:
+        rows = [
+            [run["params"]["policy"], run["params"]["demand"],
+             run["params"]["nodes"], run["figures"]["requests"],
+             run["figures"]["served"],
+             f"{run['figures']['slo_attainment']:.0%}",
+             run["figures"]["ttr_p95_seconds"],
+             round(run["figures"]["wasted_node_seconds"], 0)]
+            for run in result["runs"]
+        ]
+        print(format_table(
+            ["policy", "demand", "nodes", "requests", "served",
+             "SLO met", "p95 ttr (s)", "wasted node-s"],
+            rows, title=f"Autoscaler sweep ({len(rows)} runs, "
+            f"jobs={args.jobs})"))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(sweep_to_json(result))
+        print(f"sweep document written to {args.out}")
     return 0
 
 

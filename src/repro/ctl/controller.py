@@ -267,7 +267,8 @@ def elasticity_scenario(image_factory, node_count: int = 6,
                         demand_seed: int = 20150314,
                         duration: float = 1800.0, tick: float = 15.0,
                         vmxoff_mode: str = "resident",
-                        telemetry_factory=None):
+                        telemetry_factory=None,
+                        fast_lane: bool = True):
     """A canned autoscaling run for :func:`~repro.analysis.replay.
     check_replay` — fresh environment and testbed per call, per the
     checker's contract.  Exercises grow -> shrink -> grow so the
@@ -280,7 +281,7 @@ def elasticity_scenario(image_factory, node_count: int = 6,
     from repro.sim import Environment
 
     def scenario(recorder) -> None:
-        env = Environment()
+        env = Environment(fast_lane=fast_lane)
         telemetry = NULL_TELEMETRY if telemetry_factory is None \
             else telemetry_factory(env)
         testbed = build_testbed(node_count=node_count,

@@ -89,6 +89,14 @@ class FetchRouter:
         context and copier cannot tell the difference.
         """
         if self.fabric.p2p:
+            blocks = self.fabric.blocks_of(lba, sector_count)
+            if bulk and len(blocks) > 1:
+                # Coalesced multi-block run from the copier: route it
+                # segment by segment so partial peer coverage still
+                # serves what it can.
+                runs = yield from self._read_segmented(lba, sector_count,
+                                                       blocks)
+                return runs
             peer = self._pick_peer(lba, sector_count)
             if peer is not None:
                 runs = yield from self._fetch_from_peer(
@@ -97,6 +105,58 @@ class FetchRouter:
                     return runs
         runs = yield from self._fetch_from_origin(lba, sector_count, bulk)
         return runs
+
+    def _read_segmented(self, lba: int, sector_count: int,
+                        blocks: list):
+        """Split a coalesced bulk run into per-target segments.
+
+        A single peer rarely advertises every block of a long run —
+        requiring full coverage would send whole runs to origin and
+        starve the peer fabric.  Instead the run is cut into maximal
+        contiguous segments: at each position, either the widest block
+        prefix some one peer fully covers (fetched from that peer, with
+        the usual NAK/timeout fallback to origin), or the prefix of
+        blocks no peer advertises (fetched from an origin replica in
+        one transaction).  Segments stay in LBA order, so the returned
+        runs concatenate and coalesce directly.
+        """
+        directory = self.fabric.directory
+        own = self._own_peer_port
+        block_sectors = self.fabric.block_sectors
+        end = lba + sector_count
+        runs: list = []
+        index = 0
+        total = len(blocks)
+        while index < total:
+            peers = directory.peers_for([blocks[index]], exclude=own)
+            stop = index + 1
+            if peers:
+                while stop < total:
+                    wider = directory.peers_for(blocks[index:stop + 1],
+                                                exclude=own)
+                    if not wider:
+                        break
+                    peers = wider
+                    stop += 1
+            else:
+                while stop < total and not directory.peers_for(
+                        [blocks[stop]], exclude=own):
+                    stop += 1
+            seg_start = max(lba, blocks[index] * block_sectors)
+            seg_end = min(end, (blocks[stop - 1] + 1) * block_sectors)
+            seg_count = seg_end - seg_start
+            seg_runs = None
+            if peers:
+                peer = self.selector.select(seg_start, seg_count,
+                                            candidates=peers)
+                seg_runs = yield from self._fetch_from_peer(
+                    peer, seg_start, seg_count, True)
+            if seg_runs is None:
+                seg_runs = yield from self._fetch_from_origin(
+                    seg_start, seg_count, True)
+            runs.extend(seg_runs)
+            index = stop
+        return _coalesce_runs(runs)
 
     def _pick_peer(self, lba: int, sector_count: int) -> str | None:
         blocks = self.fabric.blocks_of(lba, sector_count)
@@ -162,3 +222,14 @@ class FetchRouter:
             self.node_port, lba, sector_count, target, "origin", started,
             block_sectors=self.fabric.block_sectors)
         return runs
+
+
+def _coalesce_runs(runs: list) -> list:
+    """Merge adjacent same-token runs from consecutive segments."""
+    merged: list = []
+    for start, end, token in runs:
+        if merged and merged[-1][1] == start and merged[-1][2] == token:
+            merged[-1] = (merged[-1][0], end, token)
+        else:
+            merged.append((start, end, token))
+    return merged

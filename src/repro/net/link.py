@@ -95,16 +95,18 @@ class EthernetSwitch:
             raise ValueError(f"unknown destination port {frame.dst!r}")
 
         # Sender-side serialization: one frame at a time per port.
+        # Hot path — pooled timeouts (yield-only) and hoisted lookups.
+        env = self.env
         with self._tx_locks[frame.src].request() as grant:
             yield grant
-            yield self.env.timeout(self.serialization_time(frame))
+            yield env.pooled_timeout(self.serialization_time(frame))
 
         if self.loss.drops(frame):
             self._m_dropped.inc()
             return False
 
-        self.env.process(self._forward(frame, destination),
-                         name="switch-forward")
+        env.process(self._forward(frame, destination),
+                    name="switch-forward")
         return True
 
     def bulk_transfer(self, src: str, dst: str, payload,
@@ -138,11 +140,13 @@ class EthernetSwitch:
         rx_done = self.env.event()
 
         def rx_side():
+            env = self.env
+            rx_lock = self._rx_locks[dst]
             for _ in range(chunks):
                 yield sent_chunks.get()
-                with self._rx_locks[dst].request() as grant:
+                with rx_lock.request() as grant:
                     yield grant
-                    yield self.env.timeout(per_chunk)
+                    yield env.pooled_timeout(per_chunk)
             self.frames_forwarded += frames
             self.bytes_forwarded += wire_bytes
             self._account_protocol(protocol, wire_bytes)
@@ -153,26 +157,30 @@ class EthernetSwitch:
                                       protocol=protocol))
             rx_done.succeed()
 
-        self.env.process(rx_side(), name="bulk-rx")
+        env = self.env
+        tx_lock = self._tx_locks[src]
+        env.process(rx_side(), name="bulk-rx")
         for _ in range(chunks):
-            with self._tx_locks[src].request() as grant:
+            with tx_lock.request() as grant:
                 yield grant
-                yield self.env.timeout(per_chunk)
-            yield sent_chunks.put(self.env.now)
-        yield self.env.timeout(self.forward_latency)
+                yield env.pooled_timeout(per_chunk)
+            yield sent_chunks.put(env.now)
+        yield env.pooled_timeout(self.forward_latency)
         yield rx_done
 
     def _forward(self, frame: Frame, destination):
-        yield self.env.timeout(self.forward_latency)
+        env = self.env
+        yield env.pooled_timeout(self.forward_latency)
         # Receiver-side port capacity: one frame at a time into the port.
         with self._rx_locks[frame.dst].request() as grant:
             yield grant
-            yield self.env.timeout(self.serialization_time(frame))
+            yield env.pooled_timeout(self.serialization_time(frame))
+        wire_bytes = frame.wire_bytes
         self.frames_forwarded += 1
-        self.bytes_forwarded += frame.wire_bytes
-        self._account_protocol(frame.protocol, frame.wire_bytes)
+        self.bytes_forwarded += wire_bytes
+        self._account_protocol(frame.protocol, wire_bytes)
         self._m_frames.inc()
-        self._m_bytes.inc(frame.wire_bytes)
+        self._m_bytes.inc(wire_bytes)
         destination.deliver(frame)
 
     def _account_protocol(self, protocol: str, wire_bytes: int) -> None:

@@ -54,28 +54,34 @@ class Nic:
     def send(self, dst: str, payload, payload_bytes: int,
              protocol: str = "aoe"):
         """Generator: transmit one frame; returns True if delivered."""
+        # Hot path: hoist attribute lookups; a deploy pushes millions of
+        # frames through here.
         frame = Frame(self.name, dst, payload, payload_bytes, protocol)
+        switch = self.switch
         with self.telemetry.profiler.track("nic", "tx"):
-            delivered = yield from self.switch.transmit(frame)
+            delivered = yield from switch.transmit(frame)
+        wire_bytes = frame.wire_bytes
         self.tx_frames += 1
-        self.tx_bytes += frame.wire_bytes
-        self._m_tx_bytes.inc(frame.wire_bytes)
+        self.tx_bytes += wire_bytes
+        self._m_tx_bytes.inc(wire_bytes)
         return delivered
 
     # -- receive ----------------------------------------------------------------
 
     def deliver(self, frame: Frame) -> None:
         """Switch-side entry: enqueue into the RX ring, drop on overflow."""
-        if self.rx_ring.is_full:
+        ring = self.rx_ring
+        if ring.is_full:
             self.rx_dropped += 1
             self._m_rx_dropped.inc()
             return
+        wire_bytes = frame.wire_bytes
         self.rx_frames += 1
-        self.rx_bytes += frame.wire_bytes
-        self._m_rx_bytes.inc(frame.wire_bytes)
+        self.rx_bytes += wire_bytes
+        self._m_rx_bytes.inc(wire_bytes)
         # Non-blocking: ring has space, the put succeeds immediately.
-        self.rx_ring.put(frame)
-        self._m_queue_depth.set(len(self.rx_ring))
+        ring.put(frame)
+        self._m_queue_depth.set(len(ring))
 
     def recv(self):
         """Generator: block until a frame arrives; returns it."""

@@ -10,7 +10,7 @@ from repro import params
 _frame_ids = count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Frame:
     """One Ethernet frame.
 

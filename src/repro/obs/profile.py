@@ -130,6 +130,26 @@ class SimProfiler:
         }
 
 
+class _NullSpan:
+    """Shared no-op context manager.
+
+    ``NullSimProfiler.track`` sits on the NIC/serve hot paths; a
+    ``@contextmanager`` generator there would be one allocation per
+    tracked call, so the disabled path returns this singleton instead.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
 class NullSimProfiler:
     """Disabled profiler; shared, stateless, and allocation-free."""
 
@@ -140,12 +160,8 @@ class NullSimProfiler:
     component_self: dict = {}
     folded: dict = {}
 
-    @contextmanager
-    def _null_track(self):
-        yield None
-
     def track(self, component: str, name: str | None = None):
-        return self._null_track()
+        return _NULL_SPAN
 
     def current_component(self):
         return None

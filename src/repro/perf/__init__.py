@@ -1,0 +1,26 @@
+"""Parallel sweep runner: fan scenario grids across worker processes.
+
+``repro sweep`` expands a parameter grid (autoscaler policy x demand
+model x node count, or moderation write-interval), runs every point in
+a ``multiprocessing`` pool, and merges the per-run figures into one
+deterministic document — byte-identical regardless of ``--jobs``.
+See ``docs/performance.md``.
+"""
+
+from repro.perf.sweep import (
+    SweepSpec,
+    derive_seed,
+    expand_grid,
+    param_key,
+    run_sweep,
+    sweep_to_json,
+)
+
+__all__ = [
+    "SweepSpec",
+    "derive_seed",
+    "expand_grid",
+    "param_key",
+    "run_sweep",
+    "sweep_to_json",
+]

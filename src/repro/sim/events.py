@@ -42,7 +42,13 @@ class Event:
     *processed* (its callbacks have run).  Processes wait on an event by
     yielding it; when it is processed, each waiting process resumes with
     the event's value (or the failure is raised inside it).
+
+    Events are slotted: they are the highest-volume allocation in the
+    simulator, and ``__slots__`` removes the per-instance ``__dict__``.
+    Subclasses must declare their own ``__slots__`` (possibly empty).
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "defused")
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -121,11 +127,15 @@ class Event:
 class Timeout(Event):
     """An event that fires after ``delay`` units of simulated time."""
 
+    __slots__ = ("_delay", "_pooled")
+
     def __init__(self, env: "Environment", delay: float, value=None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
         super().__init__(env)
         self._delay = delay
+        #: True for instances recycled by ``Environment.pooled_timeout``.
+        self._pooled = False
         self._ok = True
         self._value = value
         env.schedule(self, delay=delay)
@@ -136,6 +146,8 @@ class Timeout(Event):
 
 class ConditionValue:
     """Ordered mapping of the events a condition completed with."""
+
+    __slots__ = ("events",)
 
     def __init__(self):
         self.events: list[Event] = []
@@ -174,6 +186,8 @@ class ConditionValue:
 
 class Condition(Event):
     """Waits for a combination of events (``AllOf``/``AnyOf``)."""
+
+    __slots__ = ("_evaluate", "_events", "_count")
 
     def __init__(self, env, evaluate, events):
         super().__init__(env)
@@ -240,12 +254,16 @@ class Condition(Event):
 class AllOf(Condition):
     """Condition that fires when every given event has fired."""
 
+    __slots__ = ()
+
     def __init__(self, env, events):
         super().__init__(env, Condition.all_done, events)
 
 
 class AnyOf(Condition):
     """Condition that fires as soon as any given event fires."""
+
+    __slots__ = ()
 
     def __init__(self, env, events):
         super().__init__(env, Condition.any_done, events)

@@ -16,6 +16,8 @@ class Process(Event):
     by yielding them.
     """
 
+    __slots__ = ("_generator", "name", "target", "_initialized")
+
     def __init__(self, env, generator, name: str | None = None):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise TypeError(f"{generator!r} is not a generator")

@@ -27,6 +27,8 @@ class Request(Event):
     always releases.
     """
 
+    __slots__ = ("resource",)
+
     def __init__(self, resource: "Resource"):
         super().__init__(resource.env)
         self.resource = resource
@@ -84,6 +86,8 @@ class Resource:
 
 
 class StorePut(Event):
+    __slots__ = ("item",)
+
     def __init__(self, store: "Store", item):
         super().__init__(store.env)
         self.item = item
@@ -91,6 +95,8 @@ class StorePut(Event):
 
 
 class StoreGet(Event):
+    __slots__ = ()
+
     def __init__(self, store: "Store"):
         super().__init__(store.env)
         store._do_get(self)

@@ -200,6 +200,34 @@ class BlockBitmap:
             self._notify("claim", block, granted=True, state=state.value)
         return True
 
+    def claim_run(self, block: int, max_blocks: int) -> int:
+        """Copier: claim up to ``max_blocks`` contiguous EMPTY blocks
+        starting at ``block`` (EMPTY -> COPYING each), for one coalesced
+        bulk fetch.  Stops at the first non-EMPTY block and returns how
+        many were claimed (0 when ``block`` itself was not EMPTY).
+
+        Emits the same per-block ``"claim"`` notifications as
+        :meth:`try_claim`, so the claim-protocol sanitizer and the FSM
+        extractor observe an identical protocol stream.
+        """
+        if max_blocks < 1:
+            raise ValueError("max_blocks must be positive")
+        if not self.try_claim(block):
+            return 0
+        limit = min(block + max_blocks, self.block_count)
+        cursor = block + 1
+        while cursor < limit and self.state(cursor) is BlockState.EMPTY:
+            self._copying.add(cursor)
+            if self.transition_listeners:
+                self._notify("claim", cursor, granted=True, state="empty")
+            cursor += 1
+        return cursor - block
+
+    def release_run(self, block: int, count: int) -> None:
+        """Release a run of claims (failed coalesced fetch)."""
+        for cursor in range(block, block + count):
+            self.release_claim(cursor)
+
     def release_claim(self, block: int) -> None:
         was_claimed = block in self._copying
         self._copying.discard(block)
@@ -222,6 +250,36 @@ class BlockBitmap:
         # The overlay for this block is no longer needed.
         start, count = self.block_range(block)
         self.dirty.clear_range(start, count)
+
+    def commit_fill_run(self, block: int, count: int) -> None:
+        """Copier: COPYING -> FILLED for ``count`` contiguous blocks as
+        one atomic bitmap update (single filled-map range set, single
+        dirty-overlay clear).  Every block must be claimed — validated
+        up front, before any state changes — and per-block ``"commit"``
+        notifications are emitted exactly as :meth:`commit_fill` would.
+        """
+        if count < 1:
+            raise ValueError("count must be positive")
+        end = block + count
+        unclaimed = None
+        for cursor in range(block, end):
+            was_claimed = cursor in self._copying
+            if self.transition_listeners:
+                # Emitted before raising so the sanitizer sees the
+                # attempt even if the caller swallows the exception.
+                self._notify("commit", cursor, was_claimed=was_claimed,
+                             state=self.state(cursor).value)
+            if not was_claimed and unclaimed is None:
+                unclaimed = cursor
+        if unclaimed is not None:
+            raise ValueError(f"block {unclaimed} was not claimed")
+        for cursor in range(block, end):
+            self._copying.discard(cursor)
+        self._filled.set_range(block, count, True)
+        start = block * self.block_sectors
+        sectors = min(count * self.block_sectors,
+                      self.image_sectors - start)
+        self.dirty.clear_range(start, sectors)
 
     def record_guest_write(self, lba: int, sector_count: int) -> None:
         """Mediator: the guest wrote this range.

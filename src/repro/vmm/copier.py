@@ -24,20 +24,41 @@ from repro.vmm.moderation import ModerationPolicy
 
 
 class BackgroundCopier:
-    """Retriever + writer thread pair with a bounded FIFO between them."""
+    """Retriever + writer thread pair with a bounded FIFO between them.
+
+    Under an *unmoderated* policy (write and suspend intervals both
+    zero — the full-speed deploys the startup-latency figures measure),
+    the retriever coalesces contiguous pristine (EMPTY) blocks into runs
+    of up to ``coalesce_blocks`` and fetches each run as ONE bulk
+    transaction — same bytes on the wire, one command/ack round trip and
+    one server read instead of per-block events — and the writer lands
+    each run with a single disk transaction and an atomic bitmap
+    range-commit.  Moderated policies keep the per-block pipeline
+    untouched: pacing stays per VMM write and the FIFO's lookahead stays
+    at ``fifo_capacity`` blocks, so interference and outage behavior are
+    byte-for-byte what they were before coalescing existed.
+    """
 
     #: Idle poll granularity of the writer thread.
     IDLE_POLL_SECONDS = 5e-3
+
+    #: Max contiguous blocks fetched as one bulk transaction.
+    DEFAULT_COALESCE_BLOCKS = 8
 
     def __init__(self, env: Environment, deployment: DeploymentContext,
                  mediator: DeviceMediator,
                  policy: ModerationPolicy | None = None,
                  fifo_capacity: int = 4,
-                 prefetch_blocks=None):
+                 prefetch_blocks=None,
+                 coalesce_blocks: int | None = None):
         self.env = env
         self.deployment = deployment
         self.mediator = mediator
         self.policy = policy or ModerationPolicy()
+        self.coalesce_blocks = coalesce_blocks \
+            if coalesce_blocks is not None else self.DEFAULT_COALESCE_BLOCKS
+        if self.coalesce_blocks < 1:
+            raise ValueError("coalesce_blocks must be positive")
         self.fifo: Store = Store(env, capacity=fifo_capacity)
         #: Blocks to copy first, exempt from moderation: the regions the
         #: OS reads while booting (paper 3.3's prefetch optimization).
@@ -130,9 +151,18 @@ class BackgroundCopier:
                     # Everything claimed or filled; let the writer drain.
                     yield self.env.timeout(self.IDLE_POLL_SECONDS)
                     continue
-                if not bitmap.try_claim(block):
+                # Prefetch blocks are individually chosen (boot working
+                # set), so they are never coalesced with their
+                # neighbors; moderated policies stay per-block (see the
+                # class docstring).
+                limit = self.coalesce_blocks \
+                    if (not is_prefetch and self._unmoderated()) else 1
+                claimed = bitmap.claim_run(block, limit)
+                if claimed == 0:
                     continue
-                start, count = bitmap.block_range(block)
+                start = block * bitmap.block_sectors
+                count = min(claimed * bitmap.block_sectors,
+                            bitmap.image_sectors - start)
                 try:
                     with self.telemetry.profiler.track("copier",
                                                        "fetch-block"):
@@ -140,17 +170,17 @@ class BackgroundCopier:
                             self.deployment.fetcher.read_blocks(
                                 start, count, bulk=True)
                 except AoeTimeoutError:
-                    # Server unreachable: release the claim, back off,
+                    # Server unreachable: release the claims, back off,
                     # and keep trying — a degraded deployment stalls,
                     # it does not die (and resumes when the server is
                     # back).
-                    bitmap.release_claim(block)
+                    bitmap.release_run(block, claimed)
                     self.fetch_errors += 1
                     self._m_fetch_errors.inc()
                     yield self.env.timeout(
                         self.FETCH_RETRY_BACKOFF_SECONDS)
                     continue
-                yield self.fifo.put((block, runs, is_prefetch))
+                yield self.fifo.put((block, claimed, runs, is_prefetch))
         except Interrupt:
             return
 
@@ -197,12 +227,27 @@ class BackgroundCopier:
                     continue
                 item = self.fifo.try_get()
                 if item is not None:
-                    block, runs, is_prefetch = item
-                    if not is_prefetch:
-                        # Prefetch blocks skip moderation: copying the
-                        # boot working set early IS the point.
+                    block, count, runs, is_prefetch = item
+                    if count > 1 and self._unmoderated():
+                        # Unmoderated: land the whole fetched run as one
+                        # disk transaction and one atomic range-commit.
                         yield from self._moderate()
-                    yield from self._write_block(block, runs)
+                        yield from self._write_run(block, count, runs)
+                        continue
+                    # Moderated (or single-block): unbundle the run so
+                    # pacing stays per VMM write, exactly as before
+                    # coalescing existed.
+                    for offset in range(count):
+                        cursor = block + offset
+                        if not is_prefetch:
+                            # Prefetch blocks skip moderation: copying
+                            # the boot working set early IS the point.
+                            yield from self._moderate()
+                        cursor_start, cursor_count = \
+                            bitmap.block_range(cursor)
+                        yield from self._write_block(
+                            cursor, _clip(runs, cursor_start,
+                                          cursor_count))
                     continue
                 if bitmap.complete:
                     break
@@ -214,6 +259,13 @@ class BackgroundCopier:
         self.telemetry.causal.mark("deploy-complete")
         if not self.done.triggered:
             self.done.succeed(self.env.now)
+
+    def _unmoderated(self) -> bool:
+        """True when the policy never paces writes — the only regime
+        where run-coalescing is allowed to restructure the pipeline."""
+        policy = self.policy
+        return (policy.write_interval == 0.0
+                and policy.suspend_interval == 0.0)
 
     def _moderate(self):
         """Paper 3.3's pacing rule, applied before each VMM write: if the
@@ -287,6 +339,71 @@ class BackgroundCopier:
                 "copy", "background copy progress",
                 filled=bitmap.filled_count,
                 total=bitmap.block_count)
+
+    def _write_run(self, first_block: int, block_count: int, runs: list):
+        """Land a coalesced run with one disk transaction.
+
+        The same atomic rule as :meth:`_write_block` applies, but once
+        per run instead of once per block: under device ownership the
+        revalidation masks out, per block, everything the guest wrote
+        or filled meanwhile.  Afterwards each maximal still-COPYING
+        stretch commits through ``commit_fill_run`` — blocks the guest
+        fully overwrote mid-write are the guest's and are skipped, just
+        as the per-block path skips them.
+        """
+        bitmap = self.deployment.bitmap
+        start = first_block * bitmap.block_sectors
+        count = min(block_count * bitmap.block_sectors,
+                    bitmap.image_sectors - start)
+        request = BlockRequest(BlockOp.WRITE, start, count, origin="vmm")
+        request.buffer.runs = list(runs)
+        end_block = first_block + block_count
+
+        def revalidate(pending: BlockRequest) -> list:
+            clean: list = []
+            for block in range(first_block, end_block):
+                if bitmap.state(block).value != "copying":
+                    continue
+                for run_start, run_count in bitmap.writable_runs(block):
+                    clean.extend(_clip(runs, run_start, run_count))
+            return clean
+
+        with self.telemetry.profiler.track("copier", "write-block"):
+            yield from self.mediator.vmm_request(request, revalidate)
+        written = sum(end - begin for begin, end, _ in
+                      request.buffer.runs)
+        self.bytes_written += written * params.SECTOR_BYTES
+        self._m_bytes_written.inc(written * params.SECTOR_BYTES)
+        cursor = first_block
+        while cursor < end_block:
+            state = bitmap.state(cursor)
+            if state is BlockState.FILLED:
+                # Guest full-block write recorded mid-transaction; its
+                # replayed write lands after ours — the block is the
+                # guest's now, committing it would be a violation.
+                cursor += 1
+                continue
+            if state is not BlockState.COPYING:
+                raise RuntimeError(
+                    f"copier lost its claim on block {cursor} "
+                    f"(state is {state.value!r} after write)")
+            commit_start = cursor
+            while (cursor < end_block
+                   and bitmap.state(cursor) is BlockState.COPYING):
+                cursor += 1
+            bitmap.commit_fill_run(commit_start, cursor - commit_start)
+            for block in range(commit_start, cursor):
+                self.deployment.note_block_filled(block)
+                self.blocks_filled += 1
+                self._m_blocks_filled.set(self.blocks_filled)
+                self._m_progress.set(bitmap.filled_count
+                                     / bitmap.block_count)
+                self._m_throughput.record(self.env.now, self.write_rate())
+                if self.blocks_filled % 256 == 0 or bitmap.complete:
+                    self.deployment.tracer.log(
+                        "copy", "background copy progress",
+                        filled=bitmap.filled_count,
+                        total=bitmap.block_count)
 
     def _do_writeback(self, lba: int, sector_count: int, runs: list):
         """Persist data fetched by copy-on-read.

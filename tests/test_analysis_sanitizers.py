@@ -45,6 +45,23 @@ class UncheckedCopier(copier_module.BackgroundCopier):
         except ValueError:
             pass
 
+    def _write_run(self, first_block, block_count, runs):
+        # Full-speed deploys land coalesced runs through this path; the
+        # ablation must skip revalidation here too.
+        bitmap = self.deployment.bitmap
+        start = first_block * bitmap.block_sectors
+        count = min(block_count * bitmap.block_sectors,
+                    bitmap.image_sectors - start)
+        request = BlockRequest(BlockOp.WRITE, start, count, origin="vmm")
+        request.buffer.runs = list(runs)
+        yield from self.mediator.vmm_request(request)
+        for block in range(first_block, first_block + block_count):
+            try:
+                bitmap.commit_fill(block)
+                self.blocks_filled += 1
+            except ValueError:
+                pass
+
 
 def run_sanitized_race(copier_cls, write_count=24):
     """Racing-writes deployment with the full suite attached.

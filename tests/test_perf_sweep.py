@@ -1,0 +1,84 @@
+"""The parallel sweep runner: determinism, seeding, and the grid."""
+
+import pytest
+
+from repro.perf import (
+    SweepSpec,
+    derive_seed,
+    expand_grid,
+    param_key,
+    run_sweep,
+    sweep_to_json,
+)
+
+
+# -- seed derivation ----------------------------------------------------------
+
+def test_derive_seed_is_stable():
+    assert derive_seed(7, "a=1") == derive_seed(7, "a=1")
+
+
+def test_derive_seed_varies_by_key_and_parent():
+    seeds = {derive_seed(7, "a=1"), derive_seed(7, "a=2"),
+             derive_seed(8, "a=1")}
+    assert len(seeds) == 3
+
+
+def test_param_key_is_order_independent():
+    assert param_key({"b": 2, "a": 1}) == param_key({"a": 1, "b": 2})
+    assert param_key({"a": 1, "b": 2}) == "a=1,b=2"
+
+
+# -- grid expansion -----------------------------------------------------------
+
+def test_expand_grid_covers_product():
+    points = expand_grid({"x": (1, 2), "y": ("a",)})
+    assert points == [{"x": 1, "y": "a"}, {"x": 2, "y": "a"}]
+
+
+def test_spec_rejects_unknown_kind_and_empty_axes():
+    with pytest.raises(ValueError):
+        SweepSpec(kind="nope", axes={"x": (1,)})
+    with pytest.raises(ValueError):
+        SweepSpec(kind="ctl", axes={})
+    with pytest.raises(ValueError):
+        SweepSpec(kind="ctl", axes={"x": ()})
+
+
+def test_run_sweep_rejects_zero_jobs():
+    spec = SweepSpec(kind="ctl", axes={"nodes": (3,)})
+    with pytest.raises(ValueError):
+        run_sweep(spec, jobs=0)
+
+
+# -- parallel determinism -----------------------------------------------------
+
+def _tiny_moderation_spec():
+    return SweepSpec(
+        kind="moderation",
+        axes={"write_interval": (0.01, 0.0)},
+        parent_seed=11,
+        fixed={"image_mb": 24, "fio_mb": 16})
+
+
+def test_jobs_do_not_change_the_output():
+    """The acceptance criterion: --jobs N is byte-identical to --jobs 1."""
+    spec = _tiny_moderation_spec()
+    serial = sweep_to_json(run_sweep(spec, jobs=1))
+    parallel = sweep_to_json(run_sweep(spec, jobs=2))
+    assert serial == parallel
+
+
+def test_sweep_document_shape():
+    result = run_sweep(_tiny_moderation_spec(), jobs=2)
+    assert result["kind"] == "moderation"
+    assert [run["key"] for run in result["runs"]] == \
+        sorted(run["key"] for run in result["runs"])
+    for run in result["runs"]:
+        assert run["seed"] == run["seed"] & 0xFFFFFFFF
+        assert "guest_read_mbps" in run["figures"]
+        assert "vmm_write_mbps" in run["figures"]
+    # Full speed must not slow the guest down relative to moderation.
+    by_interval = {run["params"]["write_interval"]: run["figures"]
+                   for run in result["runs"]}
+    assert by_interval[0.0]["guest_read_mbps"] > 0

@@ -230,3 +230,91 @@ def test_property_filled_blocks_never_writable_by_copier(ops):
             for sector in range(start, start + count):
                 assert sector not in guest_written
         bitmap.release_claim(block)
+
+
+# -- run operations (transfer coalescing) -------------------------------------
+
+def test_claim_run_extends_over_empty_blocks():
+    bitmap = make_bitmap(8)
+    assert bitmap.claim_run(0, 4) == 4
+    for block in range(4):
+        assert bitmap.state(block) is BlockState.COPYING
+    assert bitmap.state(4) is BlockState.EMPTY
+
+
+def test_claim_run_stops_at_non_empty_block():
+    bitmap = make_bitmap(8)
+    bitmap.try_claim(2)
+    bitmap.commit_fill(2)
+    assert bitmap.claim_run(0, 8) == 2  # blocks 0-1 only
+    assert bitmap.state(2) is BlockState.FILLED
+    assert bitmap.state(3) is BlockState.EMPTY
+
+
+def test_claim_run_zero_when_first_block_taken():
+    bitmap = make_bitmap(8)
+    bitmap.try_claim(0)
+    assert bitmap.claim_run(0, 4) == 0
+
+
+def test_claim_run_clipped_at_image_end():
+    bitmap = make_bitmap(4)
+    assert bitmap.claim_run(2, 8) == 2
+
+
+def test_claim_run_rejects_empty_request():
+    bitmap = make_bitmap(4)
+    with pytest.raises(ValueError):
+        bitmap.claim_run(0, 0)
+
+
+def test_commit_fill_run_fills_atomically():
+    bitmap = make_bitmap(8)
+    assert bitmap.claim_run(0, 3) == 3
+    bitmap.commit_fill_run(0, 3)
+    for block in range(3):
+        assert bitmap.state(block) is BlockState.FILLED
+
+
+def test_commit_fill_run_validates_before_mutating():
+    bitmap = make_bitmap(8)
+    bitmap.try_claim(0)  # block 1 deliberately unclaimed
+    with pytest.raises(ValueError, match="block 1 was not claimed"):
+        bitmap.commit_fill_run(0, 2)
+    # Validation failed before any mutation: block 0 keeps its claim.
+    assert bitmap.state(0) is BlockState.COPYING
+    assert bitmap.state(1) is BlockState.EMPTY
+
+
+def test_release_run_returns_blocks_to_empty():
+    bitmap = make_bitmap(8)
+    assert bitmap.claim_run(0, 3) == 3
+    bitmap.release_run(0, 3)
+    for block in range(3):
+        assert bitmap.state(block) is BlockState.EMPTY
+
+
+def test_run_operations_emit_per_block_notifications():
+    """Sanitizers and simcheck consume per-block transition streams;
+    a coalesced run must notify exactly like per-block operations."""
+    bitmap = make_bitmap(8)
+    events = []
+    bitmap.transition_listeners.append(
+        lambda event, block, **details: events.append((event, block)))
+    bitmap.claim_run(0, 2)
+    bitmap.commit_fill_run(0, 2)
+    bitmap.claim_run(2, 1)
+    bitmap.release_run(2, 1)
+    assert events == [
+        ("claim", 0), ("claim", 1),
+        ("commit", 0), ("commit", 1),
+        ("claim", 2), ("release", 2),
+    ]
+
+
+def test_commit_fill_run_clears_dirty_overlay():
+    bitmap = make_bitmap(4)
+    bitmap.claim_run(0, 2)
+    bitmap.record_guest_write(3, 5)  # partial write inside block 0
+    bitmap.commit_fill_run(0, 2)
+    assert bitmap.dirty.covered_length(0, 2 * BLOCK_SECTORS) == 0
