@@ -20,13 +20,18 @@ simulator.  Three loads:
 Unlike the figure benches, these figures are **wall-clock** by nature
 (benchmarking the simulator in simulated time would be circular), so
 ``check_regression.py`` scores the ``*_per_sec`` / ``*_wall_seconds``
-families with a wide tolerance: consecutive records come from the same
-machine in the same CI job, but scheduler noise is real.  The speedup
-*ratio* divides that noise out, which is why the shape assert lives on
-the ratio.
+families with a wider tolerance (25%) than the simulated figures:
+consecutive records come from the same machine in the same CI job, but
+scheduler noise is real.  Every wall figure is therefore the *median*
+of ``CHURN_PASSES`` inner repeats — a stable center rather than a
+noise-tail sample — which is what lets that tolerance sit at 25%
+instead of the 50% the old best-of-3 figures needed.  The speedup
+*ratio* divides machine speed out entirely, which is why the shape
+assert lives on the ratio.
 """
 
 import os
+import statistics
 import time
 
 from _common import MB, emit, once
@@ -36,7 +41,7 @@ from repro.sim import Environment, Event
 QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
 
 CHURN_EVENTS = 50_000 if QUICK else 200_000
-CHURN_PASSES = 3
+CHURN_PASSES = 5
 BALLAST_EVENTS = 10_000
 DEPLOY_NODES = 8 if QUICK else 64
 DEPLOY_IMAGE_MB = 16
@@ -49,9 +54,12 @@ CTL_DURATION = 900.0 if QUICK else 1800.0
 def _churn(fast_lane: bool) -> float:
     """Events/sec popping ``CHURN_EVENTS`` zero-delay timeouts.
 
-    Best of ``CHURN_PASSES`` passes — a single pass is at the mercy of
-    a scheduler hiccup, and the best pass is the least-perturbed
-    measurement of the kernel itself.
+    Median of ``CHURN_PASSES`` passes — a single pass is at the mercy
+    of a scheduler hiccup, and best-of-N turned out to track the tail
+    of the noise distribution (run-to-run churn figures swung ~40%
+    between records).  The median is a stable center, which is what
+    lets ``check_regression.py`` hold the wall-clock families to a
+    25% tolerance instead of 50%.
 
     The ballast keeps the heap ``BALLAST_EVENTS`` deep for the whole
     run, so the reference kernel pays a log-10k heap push+pop per
@@ -59,7 +67,8 @@ def _churn(fast_lane: bool) -> float:
     stops at the worker's completion event, never draining the
     ballast.
     """
-    return max(_churn_pass(fast_lane) for _ in range(CHURN_PASSES))
+    return statistics.median(
+        _churn_pass(fast_lane) for _ in range(CHURN_PASSES))
 
 
 def _churn_pass(fast_lane: bool) -> float:
@@ -130,14 +139,19 @@ def _ctl_loop() -> float:
 def run_figure():
     reference = _churn(fast_lane=False)
     fastlane = _churn(fast_lane=True)
-    deploy = _deploy_fleet()
-    ctl_wall = _ctl_loop()
+    # Same median-of-N treatment for the deploy and ctl walls: every
+    # wall-clock figure in the record is a median, so a single noisy
+    # pass can never move a published number.
+    deploy_wall = statistics.median(
+        _deploy_fleet()["wall_seconds"] for _ in range(CHURN_PASSES))
+    ctl_wall = statistics.median(
+        _ctl_loop() for _ in range(CHURN_PASSES))
     return {
         "churn_reference_events_per_sec": round(reference, 1),
         "churn_fastlane_events_per_sec": round(fastlane, 1),
         "churn_speedup_ratio": round(fastlane / reference, 3),
-        "deploy_wall_seconds": round(deploy["wall_seconds"], 3),
-        "deploy_per_sec": round(deploy["deploys_per_sec"], 3),
+        "deploy_wall_seconds": round(deploy_wall, 3),
+        "deploy_per_sec": round(DEPLOY_NODES / deploy_wall, 3),
         "ctl_wall_seconds": round(ctl_wall, 3),
     }
 

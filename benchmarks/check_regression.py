@@ -42,6 +42,18 @@ DIRECTIONS = {
     # bench_elasticity.py (placement comparison at equal fleet size)
     "round_robin_wave_p95_seconds": "lower",
     "cache_aware_wave_p95_seconds": "lower",
+    # bench_fleet.py (fluid-flow fast path vs packet mode).  Listed
+    # exactly — this family mixes wall-clock figures, deterministic
+    # simulated figures, and ratios, so no suffix rule or fallback
+    # heuristic should ever touch it.
+    "fleet_packet_wall_seconds": "lower",
+    "fleet_fluid_wall_seconds": "lower",
+    "fleet_wall_speedup_ratio": "higher",
+    "fleet_event_speedup_ratio": "higher",
+    "fleet_packet_ready_seconds": "lower",
+    "fleet_fluid_ready_seconds": "lower",
+    "fleet_packet_complete_seconds": "lower",
+    "fleet_fluid_complete_seconds": "lower",
 }
 
 #: Figure-family suffix -> better direction, matched in order.  Covers
@@ -66,17 +78,30 @@ SUFFIX_DIRECTIONS = (
     ("_seconds", "lower"),
 )
 
-#: Wall-clock figure families (bench_kernel.py measures the simulator
-#: itself, so its figures are wall time by nature).  Consecutive
-#: records come from the same machine in the same CI job, but runner
-#: noise is real — these families fail only past a much wider
-#: tolerance than the simulated-time default.
+#: Wall-clock figure families (bench_kernel.py and bench_fleet.py
+#: measure the simulator itself, so their walls are wall time by
+#: nature).  Consecutive records come from the same machine in the
+#: same CI job, but runner noise is real — these families fail only
+#: past a wider tolerance than the simulated-time default.  Every
+#: emitted wall figure is a median of >=3 inner repeats (bench_kernel
+#: uses median-of-5), which is what lets this sit at 25% rather than
+#: the 50% the old best-of-N figures needed.
 WALL_SUFFIXES = ("_wall_seconds", "_per_sec", "_speedup_ratio")
-WALL_THRESHOLD = 0.5
+WALL_THRESHOLD = 0.25
+
+#: Figures whose names *look* like a wall family but are fully
+#: deterministic simulated quantities — keep them on the tight
+#: default threshold.
+DETERMINISTIC_EXCEPTIONS = frozenset({
+    # Event counts, not walls: identical across repeats on one commit.
+    "fleet_event_speedup_ratio",
+})
 
 
 def metric_threshold(name: str, base: float) -> float:
     """The failure threshold for one metric (wall families widened)."""
+    if name in DETERMINISTIC_EXCEPTIONS:
+        return base
     if name.endswith(WALL_SUFFIXES):
         return max(base, WALL_THRESHOLD)
     return base

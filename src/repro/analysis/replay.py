@@ -91,7 +91,8 @@ def deployment_scenario(image_factory, node_count: int = 1,
                         wave_size: int | None = None,
                         policy=None, wait: bool = True,
                         telemetry_factory=None,
-                        fast_lane: bool = True):
+                        fast_lane: bool = True,
+                        deploy_options: dict | None = None):
     """A canned scenario callable for :func:`check_replay`.
 
     ``image_factory`` is a zero-argument callable returning a fresh
@@ -104,7 +105,10 @@ def deployment_scenario(image_factory, node_count: int = 1,
     the timeline.  ``fast_lane=False`` runs on the pure-heap reference
     scheduler — comparing digests of a fast-lane run against a
     reference run is how the kernel fast path proves it reorders
-    nothing (see ``docs/performance.md``).
+    nothing (see ``docs/performance.md``).  ``deploy_options`` are
+    forwarded to every deployment — e.g. ``{"fluid": True}``; the
+    fluid-off-is-byte-identical tests compare a ``fluid=False`` run
+    against one with no option at all.
     """
     from repro.cloud import Cluster, WaveScheduler, build_testbed
     from repro.obs.telemetry import NULL_TELEMETRY
@@ -124,11 +128,14 @@ def deployment_scenario(image_factory, node_count: int = 1,
         cluster = Cluster(testbed)
 
         def run():
+            extra = deploy_options or {}
             if wave_size is not None:
                 scheduler = WaveScheduler(cluster, wave_size=wave_size)
-                yield from scheduler.run("bmcast", policy=policy)
+                yield from scheduler.run("bmcast", policy=policy,
+                                         **extra)
             else:
-                yield from cluster.deploy_all("bmcast", policy=policy)
+                yield from cluster.deploy_all("bmcast", policy=policy,
+                                              **extra)
             if wait:
                 yield from cluster.wait_deployment_complete(
                     settle_seconds=1.0)

@@ -205,6 +205,9 @@ class LayeringRule(Rule):
         "params": 0, "util": 0,
         "sim": 1,
         "obs": 2, "metrics": 2,
+        # net includes the fluid-flow solver (repro.net.flow), which
+        # must stay at device-model rank: it may import sim/obs/params
+        # only, never the AoE or VMM layers that drive it.
         "net": 3, "hw": 3, "storage": 3,
         "aoe": 4,
         "guest": 5, "dist": 5,

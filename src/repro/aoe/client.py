@@ -152,18 +152,23 @@ class AoeInitiator:
 
     def read_blocks(self, lba: int, sector_count: int,
                     bulk: bool = False, target: str | None = None,
-                    protocol: str = "aoe"):
+                    protocol: str = "aoe", fluid: bool = False):
         """Generator: fetch content runs for a sector range.
 
         ``bulk=True`` selects the aggregate wire path — identical timing,
         far fewer simulation events; used for background-copy streaming.
-        ``target`` overrides the default server port for this one
-        transaction (the distribution fabric routes reads to replicas
-        and peers); ``protocol`` tags the frames for the switch's
-        per-protocol accounting.
+        ``fluid=True`` (bulk only) prices the data leg analytically via
+        the switch's fluid-flow model and skips the retransmission
+        machinery — callers must demote to packet mode before loss or
+        moderation dynamics engage.  ``target`` overrides the default
+        server port for this one transaction (the distribution fabric
+        routes reads to replicas and peers); ``protocol`` tags the
+        frames for the switch's per-protocol accounting.
         """
+        if fluid and not bulk:
+            raise ValueError("fluid transfers require bulk=True")
         command = AoeCommand(next(self._tags), "read", lba, sector_count,
-                             bulk=bulk)
+                             bulk=bulk, fluid=fluid)
         transaction = yield from self._transact(command, target, protocol)
         self.reads_completed += 1
         runs = transaction.reassembly.assemble()
@@ -229,6 +234,14 @@ class AoeInitiator:
                        sector_count=command.sector_count,
                        target=transaction.target, retransmit=False)
         yield from self._send_command(transaction)
+        if command.fluid:
+            # The fluid data leg is priced analytically and cannot lose
+            # frames, so the RTO/retransmit machinery below would only
+            # inject spurious duplicates (a fluid flow routinely outlives
+            # the bulk RTO).  Any NAK still resolves the transaction and
+            # is surfaced by _transact as usual.
+            yield transaction.done
+            return
         rtt = self.estimator_for(transaction.target)
         while not transaction.done.triggered:
             timer = self.env.timeout(rtt.rto, value="timeout")

@@ -44,6 +44,10 @@ class AoeCommand:
     #: Bulk transfers use the switch's aggregate path (same wire time,
     #: fewer simulation events) — used by the background copier.
     bulk: bool = False
+    #: Fluid transfers price the data leg analytically (max-min fair
+    #: flow model, no per-chunk events); only valid with ``bulk`` and
+    #: only while the deployment's FluidState is active.
+    fluid: bool = False
 
     @property
     def header_bytes(self) -> int:

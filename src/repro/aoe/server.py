@@ -218,7 +218,13 @@ class AoeServer:
             tag=command.tag, fragment_index=0, fragment_total=1,
             lba=command.lba, sector_count=command.sector_count,
             runs=tuple(runs))
-        yield from self.nic.switch.bulk_transfer(
+        # Fluid commands price the data leg analytically; the worker
+        # grant is held either way, so replica fan-out contention (the
+        # dominant queueing effect) is identical in both modes.
+        switch = self.nic.switch
+        transfer = switch.fluid_transfer if command.fluid \
+            else switch.bulk_transfer
+        yield from transfer(
             self.nic.name, reply_to, fragment, payload_bytes,
             per_frame_payload, protocol=self.PROTOCOL)
         self.fragments_sent += 1

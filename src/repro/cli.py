@@ -96,6 +96,13 @@ def _build_parser() -> argparse.ArgumentParser:
     deploy.add_argument("--replay-check", action="store_true",
                         help="run the scenario twice and compare the "
                         "event-stream digests; exit 1 on divergence")
+    deploy.add_argument("--fluid", action="store_true",
+                        help="opt this deployment into the fluid-flow "
+                        "fast path (BMcast; auto-demotes to packet "
+                        "mode under moderation/loss/p2p/sanitizers)")
+    deploy.add_argument("--full-speed", action="store_true",
+                        help="deploy with the unmoderated FULL_SPEED "
+                        "policy (required for --fluid to engage)")
 
     scaleout = sub.add_parser(
         "scaleout", help="deploy a fleet in waves over the fabric")
@@ -122,6 +129,14 @@ def _build_parser() -> argparse.ArgumentParser:
     scaleout.add_argument("--trace-out", metavar="FILE",
                           help="arm the forensics layer and write the "
                           "run as Chrome-trace JSON")
+    scaleout.add_argument("--fluid", action="store_true",
+                          help="opt every deployment into the fluid-"
+                          "flow fast path (auto-demotes per node when "
+                          "fidelity-bearing dynamics engage)")
+    scaleout.add_argument("--full-speed", action="store_true",
+                          help="deploy waves with the unmoderated "
+                          "FULL_SPEED policy (required for --fluid "
+                          "to engage)")
 
     ctl = sub.add_parser(
         "ctl", help="run the elastic control plane over a demand curve")
@@ -172,6 +187,10 @@ def _build_parser() -> argparse.ArgumentParser:
     ctl.add_argument("--replay-check", action="store_true",
                      help="run the scenario twice and compare the "
                      "event-stream digests; exit 1 on divergence")
+    ctl.add_argument("--fluid", action="store_true",
+                     help="opt autoscaler deployments into the fluid-"
+                     "flow fast path (auto-demotes per node when "
+                     "fidelity-bearing dynamics engage)")
 
     compare = sub.add_parser("compare", help="compare every method")
     compare.add_argument("--image-gb", type=float, default=4.0)
@@ -339,6 +358,14 @@ def cmd_deploy(args, print_summary: bool = False) -> int:
         from repro.analysis import SanitizerSuite
         suite = SanitizerSuite(env)
         options["sanitizers"] = suite
+    if getattr(args, "fluid", False):
+        if args.method != "bmcast":
+            print("--fluid requires --method bmcast")
+            return 2
+        options["fluid"] = True
+    if getattr(args, "full_speed", False):
+        from repro.vmm.moderation import FULL_SPEED
+        options["policy"] = FULL_SPEED
 
     instance = env.run(until=env.process(provisioner.deploy(
         args.method, skip_firmware=not getattr(args, "cold", False),
@@ -346,6 +373,8 @@ def cmd_deploy(args, print_summary: bool = False) -> int:
     print(f"{args.method}: instance ready after "
           f"{instance.timeline.total:.1f}s "
           f"({_segments(instance.timeline)})")
+    if getattr(args, "fluid", False):
+        print(f"fluid mode: {instance.platform.fluid.describe()}")
 
     platform = instance.platform
     if args.wait and platform is not None and hasattr(platform, "copier"):
@@ -411,6 +440,11 @@ def cmd_scaleout(args) -> int:
         from repro.analysis import SanitizerSuite
         suite = SanitizerSuite(env)
         options["sanitizers"] = suite
+    if getattr(args, "fluid", False):
+        options["fluid"] = True
+    if getattr(args, "full_speed", False):
+        from repro.vmm.moderation import FULL_SPEED
+        options["policy"] = FULL_SPEED
     env.run(until=env.process(scheduler.run("bmcast", **options)))
     if args.wait:
         env.run(until=env.process(
@@ -434,6 +468,14 @@ def cmd_scaleout(args) -> int:
         f"policy {args.select_policy}"))
     print(f"fleet ready in {scheduler.summary()['total_seconds']:.1f}s; "
           f"peers registered: {fabric['peers_registered']}")
+    if getattr(args, "fluid", False):
+        states: dict = {}
+        for instance in cluster.instances:
+            state = instance.platform.fluid.describe()
+            states[state] = states.get(state, 0) + 1
+        print("fluid mode: " + ", ".join(
+            f"{count}x {state}"
+            for state, count in sorted(states.items())))
     if getattr(args, "trace_out", None):
         _write_trace(telemetry, args.trace_out, process_name="scaleout")
     if suite is not None:
@@ -460,6 +502,8 @@ def cmd_ctl(args) -> int:
         from repro.analysis import SanitizerSuite
         suite = SanitizerSuite(env)
         deploy_options["sanitizers"] = suite
+    if getattr(args, "fluid", False):
+        deploy_options["fluid"] = True
     pool = NodePool(testbed, vmxoff_mode=args.vmxoff_mode,
                     deploy_options=deploy_options, telemetry=telemetry)
     if args.demand_trace:

@@ -30,25 +30,32 @@ class Cluster:
     # -- deployment ------------------------------------------------------------
 
     def deploy_all(self, method: str, node_indexes=None,
-                   skip_firmware: bool = True, **options):
+                   skip_firmware: bool = True,
+                   stagger_seconds: float = 0.0, **options):
         """Generator: deploy onto every node simultaneously.
 
         Returns the instances in node order once all are ready (the
         all-ready barrier is what an operator's "scale out by N" sees).
+        ``stagger_seconds`` spaces the power-ons within the batch (boot
+        storm avoidance: position *i* starts at ``i * stagger_seconds``)
+        without changing the all-ready barrier or the returned order.
         """
         if node_indexes is None:
             node_indexes = range(len(self.testbed.nodes))
         slots: dict[int, Instance] = {}
 
-        def deploy_one(index):
+        def deploy_one(index, delay):
+            if delay > 0.0:
+                yield self.env.timeout(delay)
             instance = yield from self.provisioner.deploy(
                 method, node_index=index, skip_firmware=skip_firmware,
                 **options)
             slots[index] = instance
 
         processes = [
-            self.env.process(deploy_one(index), name=f"deploy-{index}")
-            for index in node_indexes
+            self.env.process(deploy_one(index, position * stagger_seconds),
+                             name=f"deploy-{index}")
+            for position, index in enumerate(node_indexes)
         ]
         yield self.env.all_of(processes)
         deployed = [slots[index] for index in sorted(slots)]

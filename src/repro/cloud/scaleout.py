@@ -72,11 +72,14 @@ class WaveScheduler:
     SEED_POLL_SECONDS = 1.0
 
     def __init__(self, cluster: Cluster, wave_size: int,
-                 seed_fill_fraction: float = 0.0):
+                 seed_fill_fraction: float = 0.0,
+                 stagger_seconds: float = 0.0):
         if wave_size < 1:
             raise ValueError("wave_size must be >= 1")
         if not 0.0 <= seed_fill_fraction <= 1.0:
             raise ValueError("seed_fill_fraction must be in [0, 1]")
+        if stagger_seconds < 0.0:
+            raise ValueError("stagger_seconds must be >= 0")
         self.cluster = cluster
         self.env = cluster.env
         self.wave_size = wave_size
@@ -84,6 +87,11 @@ class WaveScheduler:
         #: reaches this fraction (0 disables the hold: waves launch
         #: back-to-back as each becomes ready).
         self.seed_fill_fraction = seed_fill_fraction
+        #: Space power-ons within a wave (boot-storm avoidance).  Also
+        #: what keeps lockstep nodes from pinning the same replica: a
+        #: synchronized wave walks its selector cursors in unison, so
+        #: every member fetches from the same origin at once.
+        self.stagger_seconds = stagger_seconds
         self.waves: list[WaveStats] = []
 
     def run(self, method: str = "bmcast", node_indexes=None,
@@ -106,7 +114,8 @@ class WaveScheduler:
             started = self.env.now
             instances = yield from self.cluster.deploy_all(
                 method, node_indexes=batch,
-                skip_firmware=skip_firmware, **options)
+                skip_firmware=skip_firmware,
+                stagger_seconds=self.stagger_seconds, **options)
             stats = WaveStats(index=wave_index, node_indexes=batch,
                               started_at=started, ready_at=self.env.now,
                               instances=instances)

@@ -253,6 +253,9 @@ class ElasticController:
                             for record in self.pool.nodes),
             "reclaim_p95_seconds": round(
                 percentile(self.pool.reclaim_latencies, 95), 3),
+            "fluid_deploys": self.pool.fluid_deploys,
+            "fluid_demotions": dict(
+                sorted(self.pool.fluid_demotions.items())),
             "fleet": self.pool.describe(),
         }
 

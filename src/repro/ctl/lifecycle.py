@@ -172,6 +172,10 @@ class NodePool:
                       for i in range(len(testbed.nodes))]
         #: Deploy-start-to-ready seconds, one entry per deployment.
         self.time_to_ready: list[float] = []
+        #: Fluid fast-path outcomes across deployments: how many ran
+        #: (still) fluid at ready, and how many were demoted, by reason.
+        self.fluid_deploys = 0
+        self.fluid_demotions: dict[str, int] = {}
         #: Reclaim-start-to-free seconds, one entry per reclaim.
         self.reclaim_latencies: list[float] = []
         registry = self.telemetry.registry
@@ -266,6 +270,14 @@ class NodePool:
         elapsed = self.env.now - started
         self.time_to_ready.append(elapsed)
         self._m_ttr.observe(elapsed)
+        fluid = getattr(record.vmm, "fluid", None)
+        if fluid is not None and fluid.requested:
+            if fluid.demotion_reason is not None:
+                reason = fluid.demotion_reason
+                self.fluid_demotions[reason] = \
+                    self.fluid_demotions.get(reason, 0) + 1
+            else:
+                self.fluid_deploys += 1
         if record.vmm.resumed_from_disk \
                 and record.vmm.peer_service is not None:
             # The resumed blocks were FILLED before the copier ever ran,

@@ -82,11 +82,14 @@ class FetchRouter:
     # -- fetch path --------------------------------------------------------------
 
     def read_blocks(self, lba: int, sector_count: int,
-                    bulk: bool = False):
+                    bulk: bool = False, fluid: bool = False):
         """Generator: fetch content runs via the fabric.
 
         Drop-in for :meth:`AoeInitiator.read_blocks` — the deployment
-        context and copier cannot tell the difference.
+        context and copier cannot tell the difference.  ``fluid``
+        applies only to origin fetches (peer gossip demotes fluid mode
+        at arm time, but the threading is defensive either way: peer
+        legs always run packet mode).
         """
         if self.fabric.p2p:
             blocks = self.fabric.blocks_of(lba, sector_count)
@@ -95,7 +98,7 @@ class FetchRouter:
                 # segment by segment so partial peer coverage still
                 # serves what it can.
                 runs = yield from self._read_segmented(lba, sector_count,
-                                                       blocks)
+                                                       blocks, fluid)
                 return runs
             peer = self._pick_peer(lba, sector_count)
             if peer is not None:
@@ -103,11 +106,12 @@ class FetchRouter:
                     peer, lba, sector_count, bulk)
                 if runs is not None:
                     return runs
-        runs = yield from self._fetch_from_origin(lba, sector_count, bulk)
+        runs = yield from self._fetch_from_origin(lba, sector_count, bulk,
+                                                  fluid)
         return runs
 
     def _read_segmented(self, lba: int, sector_count: int,
-                        blocks: list):
+                        blocks: list, fluid: bool = False):
         """Split a coalesced bulk run into per-target segments.
 
         A single peer rarely advertises every block of a long run —
@@ -153,7 +157,7 @@ class FetchRouter:
                     peer, seg_start, seg_count, True)
             if seg_runs is None:
                 seg_runs = yield from self._fetch_from_origin(
-                    seg_start, seg_count, True)
+                    seg_start, seg_count, True, fluid)
             runs.extend(seg_runs)
             index = stop
         return _coalesce_runs(runs)
@@ -202,15 +206,20 @@ class FetchRouter:
         return runs
 
     def _fetch_from_origin(self, lba: int, sector_count: int,
-                           bulk: bool):
+                           bulk: bool, fluid: bool = False):
         target = self.selector.select(lba, sector_count)
         started = self.env.now
         self.selector.note_sent(target)
         try:
             with self.telemetry.profiler.track("origin",
                                                "origin-fetch"):
-                runs = yield from self.initiator.read_blocks(
-                    lba, sector_count, bulk=bulk, target=target)
+                if fluid:
+                    runs = yield from self.initiator.read_blocks(
+                        lba, sector_count, bulk=bulk, target=target,
+                        fluid=True)
+                else:
+                    runs = yield from self.initiator.read_blocks(
+                        lba, sector_count, bulk=bulk, target=target)
         except AoeTimeoutError:
             self.selector.note_complete(target, self.env.now - started,
                                         ok=False)

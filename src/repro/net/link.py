@@ -17,6 +17,12 @@ from repro.obs.telemetry import NULL_TELEMETRY
 from repro.sim import Environment, Resource, Store
 from repro.util.rng import make_rng
 
+#: Simulation step for packet-mode bulk transfers, and therefore the
+#: interleave quantum a packet frame waits behind per competing bulk
+#: stream — the fluid fast path reuses it to price packet/fluid
+#: cross-traffic (see ``_fluid_interleave_penalty``).
+BULK_CHUNK_BYTES = 128 * 1024
+
 
 class LossModel:
     """Bernoulli frame loss with a seeded RNG (reproducible)."""
@@ -54,6 +60,8 @@ class EthernetSwitch:
         self._ports: dict[str, object] = {}     # name -> NIC
         self._tx_locks: dict[str, Resource] = {}
         self._rx_locks: dict[str, Resource] = {}
+        self._telemetry = telemetry
+        self._flow_network = None
         # Metrics.
         self.frames_forwarded = 0
         self.bytes_forwarded = 0
@@ -99,7 +107,11 @@ class EthernetSwitch:
         env = self.env
         with self._tx_locks[frame.src].request() as grant:
             yield grant
-            yield env.pooled_timeout(self.serialization_time(frame))
+            yield env.pooled_timeout(
+                self.serialization_time(frame)
+                + self._fluid_interleave_penalty(frame.src, tx=True))
+        if self._flow_network is not None:
+            self._charge_fluid(frame.src, True, frame.wire_bytes)
 
         if self.loss.drops(frame):
             self._m_dropped.inc()
@@ -111,7 +123,7 @@ class EthernetSwitch:
 
     def bulk_transfer(self, src: str, dst: str, payload,
                       payload_bytes: int, per_frame_payload: int,
-                      chunk_bytes: int = 128 * 1024,
+                      chunk_bytes: int = BULK_CHUNK_BYTES,
                       protocol: str = "aoe"):
         """Generator: carry a large payload as one logical transfer.
 
@@ -146,7 +158,9 @@ class EthernetSwitch:
                 yield sent_chunks.get()
                 with rx_lock.request() as grant:
                     yield grant
-                    yield env.pooled_timeout(per_chunk)
+                    yield env.pooled_timeout(
+                        per_chunk
+                        + self._fluid_interleave_penalty(dst, tx=False))
             self.frames_forwarded += frames
             self.bytes_forwarded += wire_bytes
             self._account_protocol(protocol, wire_bytes)
@@ -163,10 +177,90 @@ class EthernetSwitch:
         for _ in range(chunks):
             with tx_lock.request() as grant:
                 yield grant
-                yield env.pooled_timeout(per_chunk)
+                yield env.pooled_timeout(
+                    per_chunk
+                    + self._fluid_interleave_penalty(src, tx=True))
             yield sent_chunks.put(env.now)
         yield env.pooled_timeout(self.forward_latency)
         yield rx_done
+
+    def _fluid_interleave_penalty(self, port: str, tx: bool) -> float:
+        """Extra seconds a packet frame waits on a fluid-occupied link.
+
+        Had the link's N fluid flows stayed in packet mode, their bulk
+        chunks would interleave with this frame through the port lock's
+        FIFO — one ``BULK_CHUNK_BYTES`` chunk per stream ahead of each
+        frame.  Charging that wait here keeps packet cross-traffic
+        (redirected boot reads, command frames) as slow as it would be
+        in packet mode.  Zero — past one None check — while no
+        deployment has ever gone fluid, so the packet-only timeline is
+        untouched.
+        """
+        network = self._flow_network
+        if network is None:
+            return 0.0
+        count = network.tx_flows(port) if tx else network.rx_flows(port)
+        if not count:
+            return 0.0
+        return count * (BULK_CHUNK_BYTES * 8.0 / self.rate_bps)
+
+    def _charge_fluid(self, port: str, tx: bool, wire_bytes: int) -> None:
+        """Bill a packet frame's wire time to the link's fluid flows.
+
+        The reverse coupling: while this frame held the link, a packet-
+        mode bulk stream would have made no progress, so the analytic
+        flows lose the equivalent bytes (pro-rated by their solved
+        rate; see ``FlowNetwork.note_packet_bytes``).
+        """
+        network = self._flow_network
+        if network is not None:
+            network.note_packet_bytes(port, tx, wire_bytes)
+
+    @property
+    def flow_network(self):
+        """The fluid-flow solver for this switch, created on first use.
+
+        Lazy so a packet-only simulation never constructs one — fluid
+        metrics stay absent and the event stream is untouched unless a
+        deployment actually opts in.
+        """
+        if self._flow_network is None:
+            from repro.net.flow import FlowNetwork
+            self._flow_network = FlowNetwork(self.env, self.rate_bps,
+                                             telemetry=self._telemetry)
+        return self._flow_network
+
+    def fluid_transfer(self, src: str, dst: str, payload,
+                       payload_bytes: int, per_frame_payload: int,
+                       protocol: str = "aoe"):
+        """Generator: carry a large payload as one analytic fluid flow.
+
+        Wire math is identical to :meth:`bulk_transfer` (same frame
+        count, same per-frame overhead, same byte accounting), but the
+        transfer is priced by the max-min fair :class:`FlowNetwork`
+        instead of chunk-by-chunk port locks: concurrent fluid flows
+        through a shared port split its rate equally, re-solved only on
+        flow arrival/departure.  Fluid flows do not contend with packet
+        traffic — callers must demote to packet mode whenever that
+        interaction matters (see ``repro.net.flow.FluidState``).
+        """
+        if src not in self._ports:
+            raise ValueError(f"unknown source port {src!r}")
+        destination = self._ports.get(dst)
+        if destination is None:
+            raise ValueError(f"unknown destination port {dst!r}")
+        frames = max(1, -(-payload_bytes // per_frame_payload))
+        wire_bytes = payload_bytes + frames * params.ETH_FRAME_OVERHEAD
+        yield from self.flow_network.transfer(src, dst, wire_bytes)
+        yield self.env.pooled_timeout(self.forward_latency)
+        self.frames_forwarded += frames
+        self.bytes_forwarded += wire_bytes
+        self._account_protocol(protocol, wire_bytes)
+        self._m_frames.inc(frames)
+        self._m_bytes.inc(wire_bytes)
+        self._ports[src].note_fluid_tx(frames, wire_bytes)
+        destination.deliver(Frame(src, dst, payload, per_frame_payload,
+                                  protocol=protocol))
 
     def _forward(self, frame: Frame, destination):
         env = self.env
@@ -174,7 +268,11 @@ class EthernetSwitch:
         # Receiver-side port capacity: one frame at a time into the port.
         with self._rx_locks[frame.dst].request() as grant:
             yield grant
-            yield env.pooled_timeout(self.serialization_time(frame))
+            yield env.pooled_timeout(
+                self.serialization_time(frame)
+                + self._fluid_interleave_penalty(frame.dst, tx=False))
+        if self._flow_network is not None:
+            self._charge_fluid(frame.dst, False, frame.wire_bytes)
         wire_bytes = frame.wire_bytes
         self.frames_forwarded += 1
         self.bytes_forwarded += wire_bytes

@@ -34,6 +34,9 @@ class Nic:
         self.rx_frames = 0
         self.rx_bytes = 0
         self.rx_dropped = 0
+        self.fluid_tx_frames = 0
+        self.fluid_tx_bytes = 0
+        self._m_fluid_tx_bytes = None
         registry = telemetry.registry
         self._m_tx_bytes = registry.counter("net_tx_bytes_total",
                                             nic=name)
@@ -65,6 +68,20 @@ class Nic:
         self.tx_bytes += wire_bytes
         self._m_tx_bytes.inc(wire_bytes)
         return delivered
+
+    def note_fluid_tx(self, frames: int, wire_bytes: int) -> None:
+        """Account a fluid flow sourced from this NIC's port.
+
+        The metric counter is created on first use so a packet-only run
+        exposes exactly the pre-fluid metric set.
+        """
+        self.fluid_tx_frames += frames
+        self.fluid_tx_bytes += wire_bytes
+        if self._m_fluid_tx_bytes is None:
+            self._m_fluid_tx_bytes = self.telemetry.registry.counter(
+                "net_fluid_tx_bytes_total", nic=self.name,
+                help="wire bytes sent from this port as fluid flows")
+        self._m_fluid_tx_bytes.inc(wire_bytes)
 
     # -- receive ----------------------------------------------------------------
 

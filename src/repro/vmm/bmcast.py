@@ -69,6 +69,9 @@ class BmcastVmm:
                  trace: bool = False,
                  fabric=None,
                  peer_nic=None,
+                 fluid: bool = False,
+                 coalesce_blocks: int | None = None,
+                 initial_rto: float | None = None,
                  telemetry=NULL_TELEMETRY):
         self.env = env
         self.machine = machine
@@ -98,9 +101,15 @@ class BmcastVmm:
         #: is ambient at construction (the provisioner's root), if any.
         self._span_parent = telemetry.tracer.ambient
         self._phase_span = None
+        # Fleet-deploy profiles raise the cold-start RTO (TCP-style):
+        # a multi-megabyte coalesced fetch takes longer than the 50 ms
+        # protocol default, and Karn's rule keeps the estimator cold
+        # while every transaction retransmits — a storm, not a signal.
+        rto_kwargs = {} if initial_rto is None \
+            else {"initial_rto": initial_rto}
         self.initiator = AoeInitiator(env, vmm_nic, server,
                                       poll_interval=poll_interval,
-                                      telemetry=telemetry)
+                                      telemetry=telemetry, **rto_kwargs)
         self.bitmap = BlockBitmap(image_sectors)
         #: Structured event log (opt-in; see repro.metrics.eventlog).
         self.tracer = EventLog(env) if trace else NULL_LOG
@@ -152,9 +161,15 @@ class BmcastVmm:
                 if block not in seen:
                     seen.add(block)
                     prefetch_blocks.append(block)
+        #: Fluid-flow opt-in (repro.net.flow): armed at boot, demoted
+        #: permanently the moment any fidelity-bearing dynamic engages.
+        from repro.net.flow import FluidState
+        self.fluid = FluidState(requested=fluid, telemetry=telemetry)
         self.copier = BackgroundCopier(env, self.deployment, self.mediator,
                                        policy=policy,
-                                       prefetch_blocks=prefetch_blocks)
+                                       prefetch_blocks=prefetch_blocks,
+                                       coalesce_blocks=coalesce_blocks,
+                                       fluid_state=self.fluid)
         #: Additional mediators (e.g. a shared-NIC mediator, paper 6)
         #: installed at boot and removed at de-virtualization.
         self.extra_mediators = list(extra_mediators)
@@ -325,10 +340,43 @@ class BmcastVmm:
             self.peer_service.start()
         self.machine.set_condition(DEPLOY_CONDITION)
         self._enter_phase("deployment")
+        if self.fluid.requested:
+            self._fluid_arm()
         self.copier.start()
         if self.auto_devirtualize:
             self._devirt_watcher = self.env.process(
                 self._watch_for_completion(), name="bmcast-devirt-watcher")
+
+    # -- fluid-flow fast path (repro.net.flow) ----------------------------------------------------
+
+    def _fluid_arm(self) -> None:
+        """Engage fluid transfers iff no fidelity-bearing dynamic is on.
+
+        Static demotion triggers are evaluated here, at deployment
+        start; runtime triggers (NAK / timeout / retransmission) demote
+        via the initiator observer so the very next copier fetch falls
+        back to the exact per-packet path.
+        """
+        policy = self.copier.policy
+        if policy.write_interval != 0.0 or policy.suspend_interval != 0.0:
+            self.fluid.demote("moderation")
+        loss = getattr(self.vmm_nic.switch, "loss", None)
+        if loss is not None and loss.loss_probability > 0.0:
+            self.fluid.demote("loss-injection")
+        if self.fabric is not None and self.fabric.p2p:
+            self.fluid.demote("peer-gossip")
+        if self.fluid.engage():
+            self.initiator.observers.append(self._fluid_observer)
+
+    def _fluid_observer(self, kind: str, **fields) -> None:
+        if not self.fluid.active:
+            return
+        if kind == "nak":
+            self.fluid.demote("nak")
+        elif kind == "timeout":
+            self.fluid.demote("timeout")
+        elif kind == "send" and fields.get("retransmit"):
+            self.fluid.demote("retransmission")
 
     # -- deployment -> de-virtualization ---------------------------------------------------------
 
@@ -387,6 +435,7 @@ class BmcastVmm:
             dist["peer_naks_sent"] = self.peer_service.naks_sent
         return {
             "phase": self.phase,
+            "fluid": self.fluid.describe(),
             **dist,
             "blocks_filled": self.copier.blocks_filled,
             "bytes_written": self.copier.bytes_written,

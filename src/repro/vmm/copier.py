@@ -50,11 +50,16 @@ class BackgroundCopier:
                  policy: ModerationPolicy | None = None,
                  fifo_capacity: int = 4,
                  prefetch_blocks=None,
-                 coalesce_blocks: int | None = None):
+                 coalesce_blocks: int | None = None,
+                 fluid_state=None):
         self.env = env
         self.deployment = deployment
         self.mediator = mediator
         self.policy = policy or ModerationPolicy()
+        #: The deployment's FluidState, when the platform opted in —
+        #: checked per fetch so a runtime demotion (NAK, retransmit)
+        #: flips the very next fetch back to packet mode.
+        self.fluid_state = fluid_state
         self.coalesce_blocks = coalesce_blocks \
             if coalesce_blocks is not None else self.DEFAULT_COALESCE_BLOCKS
         if self.coalesce_blocks < 1:
@@ -166,9 +171,19 @@ class BackgroundCopier:
                 try:
                     with self.telemetry.profiler.track("copier",
                                                        "fetch-block"):
-                        runs = yield from \
-                            self.deployment.fetcher.read_blocks(
-                                start, count, bulk=True)
+                        # Two call forms so the packet path stays
+                        # byte-identical to pre-fluid builds (and keeps
+                        # working against fetchers that predate the
+                        # fluid kwarg).
+                        if self.fluid_state is not None \
+                                and self.fluid_state.active:
+                            runs = yield from \
+                                self.deployment.fetcher.read_blocks(
+                                    start, count, bulk=True, fluid=True)
+                        else:
+                            runs = yield from \
+                                self.deployment.fetcher.read_blocks(
+                                    start, count, bulk=True)
                 except AoeTimeoutError:
                     # Server unreachable: release the claims, back off,
                     # and keep trying — a degraded deployment stalls,

@@ -8,6 +8,7 @@ from repro.aoe.rtt import RttEstimator
 from repro.cloud import Cluster, build_testbed
 from repro.dist import (
     DistFabric,
+    FetchRouter,
     PeerChunkService,
     PeerDirectory,
     make_selector,
@@ -264,6 +265,134 @@ def test_publish_batches_and_stop_withdraws():
     assert directory.advertised("node0-eth1-peer") == set(range(batch))
     service.stop()
     assert len(directory) == 0
+
+
+# -- router bulk-segment splitting -------------------------------------------------
+
+IMAGE_BLOCKS = 8
+
+
+def _router_rig():
+    """A FetchRouter over one origin replica on a p2p fabric.
+
+    Peers are added with :func:`_add_peer`; the rig drives
+    ``router.read_blocks(..., bulk=True)`` directly so the
+    ``_read_segmented`` splitting logic is exercised without a full
+    deployment around it.
+    """
+    from repro.aoe.server import AoeServer, ImageStore
+    from repro.util.intervalmap import IntervalMap
+
+    env = Environment()
+    switch = EthernetSwitch(env)
+    contents = IntervalMap()
+    contents.set_range(0, IMAGE_BLOCKS * BLOCK_SECTORS, "origin")
+    store = ImageStore(env, contents, IMAGE_BLOCKS * BLOCK_SECTORS)
+    server_nic = Nic(env, switch, "server", rx_ring_size=8192)
+    server = AoeServer(env, server_nic, store)
+    server.start()
+    fabric = DistFabric(["server"], p2p=True)
+    node_nic = Nic(env, switch, "node1-eth1")
+    initiator = AoeInitiator(env, node_nic, "server")
+    router = FetchRouter(env, initiator, fabric, "node1-eth1")
+    return env, switch, fabric, router
+
+
+def _add_peer(env, switch, fabric, name, filled, advertised=None):
+    """A peer chunk service holding ``filled`` blocks.
+
+    ``advertised`` defaults to ``filled``; pass a superset to model a
+    directory entry that outlived the peer's ability to serve it.
+    """
+    disk = Disk(env)
+    bitmap = BlockBitmap(image_sectors=IMAGE_BLOCKS * BLOCK_SECTORS)
+    nic = Nic(env, switch, name)
+    service = PeerChunkService(env, nic, disk, bitmap, fabric.directory)
+    service.start()
+    for block in filled:
+        _fill(bitmap, disk, block)
+    fabric.directory.publish(
+        name, set(filled if advertised is None else advertised))
+    return service
+
+
+def _read_bulk(env, router, lba, sector_count):
+    def scenario():
+        runs = yield from router.read_blocks(lba, sector_count, bulk=True)
+        return runs
+
+    return env.run(until=env.process(scenario()))
+
+
+def _assert_contiguous(runs, lba, sector_count):
+    assert runs[0][0] == lba
+    assert runs[-1][1] == lba + sector_count
+    for (_, prev_end, _), (start, _, _) in zip(runs, runs[1:]):
+        assert start == prev_end
+
+
+def test_segmented_read_splits_single_block_runs():
+    # Alternating coverage cuts the run into eight single-block
+    # segments — the narrowest split _read_segmented can produce.
+    env, switch, fabric, router = _router_rig()
+    evens = [block for block in range(IMAGE_BLOCKS) if block % 2 == 0]
+    service = _add_peer(env, switch, fabric, "node0-eth1-peer", evens)
+
+    runs = _read_bulk(env, router, 0, IMAGE_BLOCKS * BLOCK_SECTORS)
+    _assert_contiguous(runs, 0, IMAGE_BLOCKS * BLOCK_SECTORS)
+    # Even blocks carry the peer's per-block fill tokens; odd blocks
+    # carry the origin image token.
+    for block in evens:
+        assert (block * BLOCK_SECTORS, (block + 1) * BLOCK_SECTORS,
+                f"img{block}") in runs
+    assert router.peer_hits == len(evens)
+    assert router.origin_fetches == IMAGE_BLOCKS - len(evens)
+    assert router.peer_misses == 0
+    assert service.chunks_served == len(evens)
+
+
+def test_segmented_read_splits_at_peer_boundary_mid_run():
+    # Peer A covers blocks [0, 1], peer B covers [2, 3]: no single
+    # peer covers the whole run, so the widest-prefix walk must stop
+    # at the boundary and emit exactly two segments.
+    env, switch, fabric, router = _router_rig()
+    first = _add_peer(env, switch, fabric, "node0-eth1-peer", [0, 1])
+    second = _add_peer(env, switch, fabric, "node2-eth1-peer", [2, 3])
+
+    runs = _read_bulk(env, router, 0, 4 * BLOCK_SECTORS)
+    _assert_contiguous(runs, 0, 4 * BLOCK_SECTORS)
+    assert router.peer_hits == 2
+    assert router.origin_fetches == 0
+    assert router.peer_misses == 0
+    # One bulk command per segment, one segment per peer.
+    assert first.chunks_served == 1
+    assert second.chunks_served == 1
+    assert router.peer_hits_by_target == {"node0-eth1-peer": 1,
+                                          "node2-eth1-peer": 1}
+
+
+def test_segmented_read_survives_peer_withdrawal_between_split_and_fetch():
+    # The directory still advertises blocks [0, 1] but the peer can no
+    # longer serve them (withdrawn/tainted after the split consulted
+    # the directory): the peer NAKs, the router repairs the directory
+    # and falls back to origin, and the caller still gets the bytes.
+    env, switch, fabric, router = _router_rig()
+    service = _add_peer(env, switch, fabric, "node0-eth1-peer",
+                        filled=[], advertised=[0, 1])
+
+    runs = _read_bulk(env, router, 0, 4 * BLOCK_SECTORS)
+    _assert_contiguous(runs, 0, 4 * BLOCK_SECTORS)
+    assert all(token == "origin" for _, _, token in runs)
+    assert router.peer_misses == 1
+    assert router.peer_hits == 0
+    assert router.origin_fetches >= 1
+    assert service.naks_sent == 1
+    # The NAK repaired the stale directory entry.
+    assert fabric.directory.peers_for([0]) == []
+    assert fabric.directory.peers_for([1]) == []
+    # The next read routes straight to origin with no peer attempt.
+    _read_bulk(env, router, 0, 2 * BLOCK_SECTORS)
+    assert router.peer_misses == 1
 
 
 # -- fabric + full deployment ------------------------------------------------------
